@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark suite.
+
+Every module in this directory regenerates one table or figure from the
+paper's evaluation section (see DESIGN.md's experiment index).  Two kinds of
+measurements coexist:
+
+* ``benchmark`` fixtures time a single representative request under a given
+  build, giving pytest-benchmark's statistics for the raw request cost; and
+* "table" benchmarks run the corresponding experiment from
+  :mod:`repro.harness.experiments` and print the full reproduction table so
+  the run's output can be compared side by side with the paper.
+
+Tables printed during the run are also appended to ``benchmarks/results.txt``
+so a benchmark run leaves a written record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+from repro.harness.runner import _request_factory, _reset_hook, build_server
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def record_table(title: str, table_text: str) -> None:
+    """Print a reproduction table and append it to the results file."""
+    banner = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n"
+    print(banner + table_text)
+    try:
+        with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+            handle.write(banner + table_text + "\n")
+    except OSError:  # pragma: no cover - the results file is best effort
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start each benchmark session with an empty results file."""
+    try:
+        with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+            handle.write("failure-oblivious computing reproduction: benchmark tables\n")
+    except OSError:  # pragma: no cover
+        pass
+    yield
+
+
+def served_request_runner(server_name: str, policy_name: str, kind: str,
+                          scale: float = 0.5) -> Callable[[], None]:
+    """Build a started server and return a zero-argument callable serving one request.
+
+    The callable is what the ``benchmark`` fixture times; request construction
+    and any per-iteration state restoration are included (they are part of
+    serving a request in the real system too, and identical across builds).
+    """
+    server = build_server(server_name, policy_name, scale=scale)
+    boot = server.start()
+    if boot.fatal:  # pragma: no cover - benign configs always boot
+        raise RuntimeError(f"{server_name} failed to boot under {policy_name}")
+    factory = _request_factory(server_name, kind)
+    reset = _reset_hook(server_name, kind)
+    counter = {"index": 0}
+
+    def run_once() -> None:
+        index = counter["index"]
+        counter["index"] = index + 1
+        if reset is not None:
+            reset(server, index)
+        result = server.process(factory(index))
+        if result.fatal:  # pragma: no cover - benign workloads never kill servers
+            raise RuntimeError(f"{server_name} died during benchmarking: {result.error}")
+
+    return run_once

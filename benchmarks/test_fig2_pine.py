@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 2: Pine request processing times."""
+
+import pytest
+
+from benchmarks.conftest import record_table, served_request_runner
+from repro.harness.experiments import run_experiment
+
+KINDS = ["read", "compose", "move"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", ["standard", "failure-oblivious"])
+def test_pine_request_time(benchmark, policy, kind):
+    """Time one Pine request under one build (raw cell of Figure 2)."""
+    benchmark(served_request_runner("pine", policy, kind))
+
+
+def test_fig2_table(benchmark):
+    """Regenerate the full Figure 2 table (Standard vs Failure Oblivious, slowdowns)."""
+    output = benchmark.pedantic(
+        lambda: run_experiment("fig2", repetitions=15, scale=0.5), rounds=1, iterations=1
+    )
+    record_table("Figure 2 (Pine request processing times)", output.table)
+    for row in output.data:
+        assert row.failure_oblivious.mean_ms < 100, "interactive pauses must stay imperceptible"

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 3: Apache request processing times."""
+
+import pytest
+
+from benchmarks.conftest import record_table, served_request_runner
+from repro.harness.experiments import run_experiment
+
+KINDS = ["small", "large"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", ["standard", "failure-oblivious"])
+def test_apache_request_time(benchmark, policy, kind):
+    """Time one Apache request under one build (raw cell of Figure 3)."""
+    benchmark(served_request_runner("apache", policy, kind))
+
+
+def test_fig3_table(benchmark):
+    """Regenerate the full Figure 3 table; Apache overhead should be small (~1.0x)."""
+    output = benchmark.pedantic(
+        lambda: run_experiment("fig3", repetitions=15, scale=1.0), rounds=1, iterations=1
+    )
+    record_table("Figure 3 (Apache request processing times)", output.table)
+    for row in output.data:
+        assert row.slowdown < 1.8, "the I/O-dominated server must see only small overhead"

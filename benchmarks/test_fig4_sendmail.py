@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 4: Sendmail request processing times."""
+
+import pytest
+
+from benchmarks.conftest import record_table, served_request_runner
+from repro.harness.experiments import run_experiment
+
+KINDS = ["recv_small", "recv_large", "send_small", "send_large"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", ["standard", "failure-oblivious"])
+def test_sendmail_request_time(benchmark, policy, kind):
+    """Time one Sendmail transfer under one build (raw cell of Figure 4)."""
+    benchmark(served_request_runner("sendmail", policy, kind))
+
+
+def test_fig4_table(benchmark):
+    """Regenerate the full Figure 4 table (receive/send, small/large bodies)."""
+    output = benchmark.pedantic(
+        lambda: run_experiment("fig4", repetitions=15, scale=0.5), rounds=1, iterations=1
+    )
+    record_table("Figure 4 (Sendmail request processing times)", output.table)
+    slowdowns = [row.slowdown for row in output.data]
+    assert all(s > 0.8 for s in slowdowns), "checking must not make Sendmail faster"

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 5: Midnight Commander request processing times."""
+
+import pytest
+
+from benchmarks.conftest import record_table, served_request_runner
+from repro.harness.experiments import run_experiment
+
+KINDS = ["copy", "move", "mkdir", "delete"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", ["standard", "failure-oblivious"])
+def test_midnight_commander_request_time(benchmark, policy, kind):
+    """Time one file-manager operation under one build (raw cell of Figure 5)."""
+    benchmark(served_request_runner("midnight-commander", policy, kind, scale=0.25))
+
+
+def test_fig5_table(benchmark):
+    """Regenerate the full Figure 5 table (copy/move/mkdir/delete)."""
+    output = benchmark.pedantic(
+        lambda: run_experiment("fig5", repetitions=15, scale=0.5), rounds=1, iterations=1
+    )
+    record_table("Figure 5 (Midnight Commander request processing times)", output.table)
+    for row in output.data:
+        assert row.failure_oblivious.mean_ms < 1000, "file operations stay interactive"

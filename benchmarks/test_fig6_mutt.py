@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 6: Mutt request processing times (plus Figure 1's routine)."""
+
+import pytest
+
+from benchmarks.conftest import record_table, served_request_runner
+from repro.core.policies import FailureObliviousPolicy, StandardPolicy
+from repro.harness.experiments import run_experiment
+from repro.memory.context import MemoryContext
+from repro.servers.mutt import utf8_to_utf7
+
+KINDS = ["read", "move"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("policy", ["standard", "failure-oblivious"])
+def test_mutt_request_time(benchmark, policy, kind):
+    """Time one Mutt request under one build (raw cell of Figure 6)."""
+    benchmark(served_request_runner("mutt", policy, kind))
+
+
+@pytest.mark.parametrize("policy_cls", [StandardPolicy, FailureObliviousPolicy],
+                         ids=["standard", "failure-oblivious"])
+def test_figure1_conversion_cost(benchmark, policy_cls):
+    """Time the Figure 1 conversion routine itself on a benign folder name."""
+    ctx = MemoryContext(policy_cls())
+    name = "archive/résumés-2004".encode("utf-8")
+    source = ctx.alloc_c_string(name, name="folder")
+
+    def convert():
+        result = utf8_to_utf7(ctx, source, len(name))
+        ctx.free(result)
+
+    benchmark(convert)
+
+
+def test_fig6_table(benchmark):
+    """Regenerate the full Figure 6 table (read/move)."""
+    output = benchmark.pedantic(
+        lambda: run_experiment("fig6", repetitions=15, scale=0.5), rounds=1, iterations=1
+    )
+    record_table("Figure 6 (Mutt request processing times)", output.table)
+    for row in output.data:
+        assert row.failure_oblivious.mean_ms < 100, "interactive pauses must stay imperceptible"

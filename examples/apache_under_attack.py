@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Apache under attack: the pre-fork pool and the throughput experiment (§4.3.2).
+
+The script configures the simulated Apache with the vulnerable rewrite rule,
+then loads a pool of worker children with a mix of attack URLs and legitimate
+home-page fetches under each build.  The Standard and Bounds Check children
+die on every attack and must be re-forked; the failure-oblivious children
+discard the extra capture offsets and keep serving, so legitimate throughput
+stays high.
+
+Run with:  python examples/apache_under_attack.py
+"""
+
+from repro.harness.report import format_simple_table
+from repro.harness.throughput import run_throughput_experiment, throughput_ratio
+
+
+def main() -> None:
+    print("Loading the child pool with 60% attack / 40% legitimate traffic...\n")
+    results = run_throughput_experiment(
+        attack_fraction=0.6, total_requests=240, pool_size=4
+    )
+
+    rows = []
+    for policy, result in results.items():
+        rows.append(
+            (
+                policy,
+                result.legitimate_served,
+                result.attack_requests,
+                result.child_deaths,
+                f"{result.restart_seconds * 1000:.1f} ms",
+                f"{result.throughput_rps:.1f} req/s",
+            )
+        )
+    print(
+        format_simple_table(
+            ["build", "legit served", "attacks", "child deaths", "re-fork time", "legit throughput"],
+            rows,
+            title="Apache throughput while under attack",
+        )
+    )
+
+    fo_over_bc = throughput_ratio(results, "failure-oblivious", "bounds-check")
+    fo_over_std = throughput_ratio(results, "failure-oblivious", "standard")
+    print(
+        f"\nfailure-oblivious vs bounds-check : {fo_over_bc:.1f}x  (paper reports ~5.7x)\n"
+        f"failure-oblivious vs standard     : {fo_over_std:.1f}x  (paper reports ~4.8x)\n"
+        "\nThe ordering — failure-oblivious far ahead of both restarting builds —"
+        " is the result the paper reports; the exact ratio depends on how expensive"
+        " forking a child is relative to serving a page."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Figure 1 walkthrough: the same C source, three compilers, three behaviours.
+
+This example takes the paper's Figure 1 — Mutt's ``utf8_to_utf7`` conversion
+routine, whose output buffer is allocated at ``u8len * 2 + 1`` bytes even
+though the conversion can expand the name by more than a factor of two — and
+runs it through the mini-C front end under each build variant, first on a
+benign IMAP folder name and then on the malicious name from the Mutt advisory.
+
+It then shows the end-to-end server view (§4.6.2): the failure-oblivious Mutt
+sends the truncated name to the IMAP server, receives "no such folder", and
+keeps working.
+
+Run with:  python examples/mutt_figure1.py
+"""
+
+from repro import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import BoundsCheckViolation, HeapCorruption, RequestOutcome, SegmentationFault
+from repro.minic import compile_program
+from repro.minic.figure1 import FIGURE1_SOURCE
+from repro.minic.interpreter import TypedPointer
+from repro.servers.base import Request
+from repro.servers.mutt import MuttServer
+from repro.workloads.attacks import mutt_attack_config, mutt_attack_folder_name
+
+BUILDS = [
+    ("Standard", StandardPolicy),
+    ("Bounds Check", BoundsCheckPolicy),
+    ("Failure Oblivious", FailureObliviousPolicy),
+]
+
+
+def run_conversion(program, policy_cls, name: bytes) -> str:
+    """Run utf8_to_utf7 from the mini-C source under one build."""
+    instance = program.instantiate(policy_cls())
+    try:
+        result = instance.call("utf8_to_utf7", name, len(name))
+        instance.ctx.heap.verify_heap()
+    except (SegmentationFault, HeapCorruption) as fault:
+        return f"heap corrupted, process dies ({type(fault).__name__})"
+    except BoundsCheckViolation:
+        return "terminated at the first out-of-bounds store"
+    if not isinstance(result, TypedPointer):
+        return "conversion bailed (invalid UTF-8)"
+    converted = instance.read_string(result)
+    errors = len(instance.ctx.error_log)
+    return f"returned {len(converted)}-byte name, {errors} memory error(s) logged"
+
+
+def main() -> None:
+    program = compile_program(FIGURE1_SOURCE)
+    benign = "travail/é2004".encode("utf-8")
+    attack = mutt_attack_folder_name(120)
+
+    print("Figure 1 (utf8_to_utf7) compiled from mini-C source\n")
+    print(f"Benign folder name {benign!r}:")
+    for label, policy_cls in BUILDS:
+        print(f"  {label:<18}: {run_conversion(program, policy_cls, benign)}")
+
+    print(f"\nMalicious folder name ({len(attack)} control characters, expansion ratio > 2):")
+    for label, policy_cls in BUILDS:
+        print(f"  {label:<18}: {run_conversion(program, policy_cls, attack)}")
+
+    print("\nEnd-to-end Mutt behaviour when configured to open the malicious folder:")
+    for label, policy_cls in BUILDS:
+        server = MuttServer(policy_cls, config=mutt_attack_config())
+        boot = server.start()
+        line = f"  {label:<18}: boot -> {boot.outcome.value}"
+        if server.alive:
+            opened = server.process(Request(kind="open_folder", payload={"folder": b"INBOX"}))
+            read = server.process(Request(kind="read", payload={"index": 0}))
+            line += f"; open INBOX -> {opened.outcome.value}; read -> {read.outcome.value}"
+        print(line)
+
+    print(
+        "\nOnly the failure-oblivious build turns the attack into the anticipated"
+        " 'folder does not exist' error and lets the user keep reading mail (§4.6.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Error propagation distance measurement (paper §1.2).
+
+The paper explains the success of failure-oblivious computing by the short
+error propagation distances of servers:
+
+    "an error in the computation for one request tends to have little or no
+    effect on the computation for subsequent requests"
+
+and distinguishes *data* propagation (corrupted state affecting later results)
+from *control-flow* propagation (failing to return to the read-next-request
+loop).  This module measures both for our simulated servers:
+
+* **control-flow distance** — after a request that attempted memory errors,
+  how many subsequent requests elapse before the server is again processing
+  requests normally (0 if the very next request is handled; infinite if the
+  server died).
+* **data distance** — after such a request, how many subsequent legitimate
+  requests produce responses that differ from a reference run of the same
+  legitimate requests on a server that never saw the attack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import RequestOutcome
+from repro.harness.runner import build_server
+from repro.servers.base import Request, Server
+
+
+@dataclass
+class PropagationReport:
+    """Propagation distances observed for one server under one policy."""
+
+    server: str
+    policy: str
+    error_requests: int
+    control_distances: List[float] = field(default_factory=list)
+    data_distances: List[float] = field(default_factory=list)
+
+    @property
+    def max_control_distance(self) -> float:
+        """Largest observed control-flow propagation distance."""
+        return max(self.control_distances, default=0.0)
+
+    @property
+    def max_data_distance(self) -> float:
+        """Largest observed data propagation distance."""
+        return max(self.data_distances, default=0.0)
+
+    @property
+    def short_propagation(self) -> bool:
+        """True if no error's effects reached beyond the request that triggered it."""
+        return self.max_control_distance == 0.0 and self.max_data_distance == 0.0
+
+
+def _response_signature(result) -> object:
+    """A comparable digest of a request's user-visible result."""
+    if result.response is None:
+        return ("no-response", result.outcome.value)
+    return (result.outcome.value, result.response.status, bytes(result.response.body))
+
+
+def measure_propagation(
+    server_name: str,
+    policy_name: str,
+    requests: Sequence[Request],
+    scale: float = 0.25,
+) -> PropagationReport:
+    """Measure propagation distances over an interleaved attack/legitimate stream.
+
+    The same legitimate subsequence is run on a *reference* server (same
+    policy, same configuration, no attack requests); differences between the
+    observed and reference responses after an error are the data propagation.
+    """
+    # Reference run: only the legitimate requests, on a pristine server.
+    reference = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    reference.start()
+    reference_results: Dict[int, object] = {}
+    legit_positions = [i for i, request in enumerate(requests) if not request.is_attack]
+    for position in legit_positions:
+        result = reference.process(_clone_request(requests[position]))
+        reference_results[position] = _response_signature(result)
+
+    # Observed run: the full stream, attacks included.
+    observed = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    observed.start()
+    observed_results: Dict[int, object] = {}
+    error_positions: List[int] = []
+    dead_from: Optional[int] = None
+    for position, request in enumerate(requests):
+        if not observed.alive:
+            dead_from = position if dead_from is None else dead_from
+            break
+        result = observed.process(_clone_request(request))
+        if result.memory_errors:
+            error_positions.append(position)
+        if not request.is_attack:
+            observed_results[position] = _response_signature(result)
+
+    report = PropagationReport(
+        server=server_name,
+        policy=policy_name,
+        error_requests=len(error_positions),
+    )
+    for error_position in error_positions:
+        report.control_distances.append(
+            _control_distance(error_position, observed_results, dead_from, len(requests))
+        )
+        report.data_distances.append(
+            _data_distance(error_position, observed_results, reference_results)
+        )
+    return report
+
+
+def _clone_request(request: Request) -> Request:
+    """Requests get fresh ids per run so error-log attribution stays unambiguous."""
+    return Request(kind=request.kind, payload=dict(request.payload), is_attack=request.is_attack)
+
+
+def _control_distance(
+    error_position: int,
+    observed: Dict[int, object],
+    dead_from: Optional[int],
+    total: int,
+) -> float:
+    """Requests after the error before normal processing resumes (inf if never)."""
+    if dead_from is not None and dead_from > error_position:
+        return math.inf
+    later_positions = sorted(p for p in observed if p > error_position)
+    if dead_from is not None:
+        return math.inf
+    if not later_positions:
+        return 0.0
+    # The server processed the next legitimate request; control flow returned
+    # immediately, so the distance is 0.
+    return 0.0
+
+
+def _data_distance(
+    error_position: int,
+    observed: Dict[int, object],
+    reference: Dict[int, object],
+) -> float:
+    """Number of subsequent legitimate requests whose results differ from the reference."""
+    distance = 0
+    for position in sorted(p for p in observed if p > error_position):
+        if position not in reference:
+            continue
+        if observed[position] != reference[position]:
+            distance += 1
+        else:
+            break
+    return float(distance)

@@ -1,0 +1,105 @@
+"""Command-line interface: run any registered experiment from a shell.
+
+Examples
+--------
+List the available experiments (one per paper table/figure)::
+
+    python -m repro list
+
+Regenerate a figure or experiment table::
+
+    python -m repro run fig3
+    python -m repro run tab-security
+    python -m repro run exp-throughput --repetitions 10
+
+Run the documented attack against one server under one build::
+
+    python -m repro attack mutt --policy failure-oblivious
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import run_attack_scenario
+from repro.servers import SERVER_CLASSES
+from repro.core.policies import POLICY_NAMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Failure-oblivious computing (OSDI 2004) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one registered experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--repetitions", type=int, default=None,
+                            help="repetitions per figure cell (figures only)")
+    run_parser.add_argument("--scale", type=float, default=None,
+                            help="workload scale factor (see DESIGN.md)")
+
+    attack_parser = subparsers.add_parser(
+        "attack", help="run the documented attack scenario against one server"
+    )
+    attack_parser.add_argument("server", choices=sorted(SERVER_CLASSES))
+    attack_parser.add_argument("--policy", choices=sorted(POLICY_NAMES),
+                               default="failure-oblivious")
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        print(experiment_id)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    try:
+        output = run_experiment(args.experiment, **kwargs)
+    except TypeError:
+        # Not every experiment accepts every knob; retry with defaults.
+        output = run_experiment(args.experiment)
+    print(output)
+    return 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    scenario = run_attack_scenario(args.server, args.policy)
+    print(f"server            : {scenario.server}")
+    print(f"build             : {scenario.policy}")
+    print(f"boot              : {scenario.boot.outcome.value}")
+    if scenario.attack is not None:
+        print(f"attack request    : {scenario.attack.outcome.value}")
+    for index, follow_up in enumerate(scenario.follow_ups, start=1):
+        print(f"follow-up #{index}      : {follow_up.outcome.value}")
+    print(f"survived attack   : {'yes' if scenario.survived_attack else 'no'}")
+    print(f"continued service : {'yes' if scenario.continued_service else 'no'}")
+    return 0 if scenario.continued_service or args.policy != "failure-oblivious" else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "attack":
+        return _command_attack(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""The optional memory-error log described in Section 3 of the paper.
+
+    "To help make the errors more apparent, our compiler can optionally
+    augment the generated code to produce a log containing information about
+    the program's attempts to commit memory errors."
+
+The log is a bounded, structured record of :class:`~repro.errors.MemoryErrorEvent`
+objects.  The stability experiments (§4.4.4, §4.5.4) read this log to make the
+same observations the authors made — e.g. that Sendmail commits a memory error
+every time its daemon wakes up, and that Midnight Commander commits one for
+every blank line in its configuration file.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent
+
+
+class MemoryErrorLog:
+    """Bounded, queryable log of attempted memory errors.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events retained.  Older events are dropped first,
+        but aggregate counters keep counting, so long stability runs stay
+        cheap while still reporting totals.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[MemoryErrorEvent] = []
+        self._dropped = 0
+        self._total = 0
+        self._by_site: Counter = Counter()
+        self._by_kind: Counter = Counter()
+        self._by_access: Counter = Counter()
+
+    def record(self, event: MemoryErrorEvent) -> None:
+        """Append one event, evicting the oldest if the log is full."""
+        self._total += 1
+        self._by_site[event.site] += 1
+        self._by_kind[event.kind] += 1
+        self._by_access[event.access] += 1
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            self._events.pop(0)
+            self._dropped += 1
+
+    def extend(self, events: Iterable[MemoryErrorEvent]) -> None:
+        """Record a batch of events."""
+        for event in events:
+            self.record(event)
+
+    def clear(self) -> None:
+        """Discard all recorded events and reset counters."""
+        self._events.clear()
+        self._dropped = 0
+        self._total = 0
+        self._by_site.clear()
+        self._by_kind.clear()
+        self._by_access.clear()
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[MemoryErrorEvent]:
+        return iter(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of events recorded over the log's lifetime (including evicted)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Number of events evicted because the log was full."""
+        return self._dropped
+
+    def events(self) -> List[MemoryErrorEvent]:
+        """Return a copy of the retained events, oldest first."""
+        return list(self._events)
+
+    def count_by_site(self) -> Counter:
+        """Return error counts keyed by source site label."""
+        return Counter(self._by_site)
+
+    def count_by_kind(self) -> Counter:
+        """Return error counts keyed by :class:`~repro.errors.ErrorKind`."""
+        return Counter(self._by_kind)
+
+    def count_reads(self) -> int:
+        """Return how many invalid reads were recorded."""
+        return self._by_access.get(AccessKind.READ, 0)
+
+    def count_writes(self) -> int:
+        """Return how many invalid writes were recorded."""
+        return self._by_access.get(AccessKind.WRITE, 0)
+
+    def events_for_request(self, request_id: int) -> List[MemoryErrorEvent]:
+        """Return retained events tagged with the given request id."""
+        return [e for e in self._events if e.request_id == request_id]
+
+    def most_common_sites(self, n: int = 5) -> List[tuple]:
+        """Return the ``n`` sites with the most recorded errors."""
+        return self._by_site.most_common(n)
+
+    def summary(self) -> str:
+        """Return a multi-line human readable summary, as an administrator would read."""
+        lines = [
+            f"memory error log: {self._total} error(s) recorded"
+            + (f" ({self._dropped} evicted)" if self._dropped else "")
+        ]
+        for kind, count in sorted(self._by_kind.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {kind.value}: {count}")
+        for site, count in self._by_site.most_common(5):
+            lines.append(f"  site {site or '<unknown>'}: {count}")
+        return "\n".join(lines)
+
+    def find(
+        self,
+        kind: Optional[ErrorKind] = None,
+        site_substring: Optional[str] = None,
+    ) -> List[MemoryErrorEvent]:
+        """Return retained events matching the given filters."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if site_substring is not None and site_substring not in event.site:
+                continue
+            result.append(event)
+        return result

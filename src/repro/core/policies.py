@@ -1,0 +1,228 @@
+"""Concrete build variants: Standard, Bounds Check, Failure Oblivious, and §5.1 variants.
+
+Each class corresponds to one compiler configuration evaluated in the paper:
+
+* :class:`StandardPolicy` — the stock, unchecked C build.  Out-of-bounds
+  accesses are performed raw against the simulated address space, so they
+  corrupt neighbouring data units, heap metadata, or the call stack, exactly
+  like the real servers did.
+* :class:`BoundsCheckPolicy` — the CRED safe-C build.  The first detected
+  memory error raises :class:`~repro.errors.BoundsCheckViolation`, which the
+  server loop treats as process termination.
+* :class:`FailureObliviousPolicy` — the paper's contribution.  Invalid writes
+  are discarded, invalid reads return manufactured values, execution continues.
+* :class:`BoundlessPolicy` — §5.1 boundless memory blocks: invalid writes are
+  stored in a hash table keyed by (data unit, offset) and invalid reads return
+  the stored value when one exists.
+* :class:`RedirectPolicy` — §5.1 redirect variant: out-of-bounds accesses are
+  wrapped back into the accessed data unit at ``offset % size``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.errorlog import MemoryErrorLog
+from repro.core.manufacture import ManufacturedValueSequence
+from repro.core.policy import AccessDecision, AccessPolicy
+from repro.errors import BoundsCheckViolation, MemoryErrorEvent, UseAfterFree, ErrorKind
+
+
+class StandardPolicy(AccessPolicy):
+    """The unchecked build: no bounds checks, raw (possibly corrupting) accesses.
+
+    The memory accessor never calls the invalid-access hooks for this policy
+    because ``performs_checks`` is False; they are implemented anyway (raw
+    pass-through) so the policy still behaves sensibly if used with a checking
+    accessor in tests.
+    """
+
+    name = "standard"
+    performs_checks = False
+
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        self.record_event(event)
+        return AccessDecision.perform_raw()
+
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        self.record_event(event)
+        return AccessDecision.perform_raw()
+
+
+class BoundsCheckPolicy(AccessPolicy):
+    """The CRED safe-C build: terminate with an error message at the first error."""
+
+    name = "bounds-check"
+    performs_checks = True
+
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        self.record_event(event)
+        return AccessDecision.raise_(self._exception_for(event))
+
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        self.record_event(event)
+        return AccessDecision.raise_(self._exception_for(event))
+
+    @staticmethod
+    def _exception_for(event: MemoryErrorEvent) -> BaseException:
+        if event.kind is ErrorKind.USE_AFTER_FREE:
+            return UseAfterFree(event)
+        return BoundsCheckViolation(event)
+
+
+class FailureObliviousPolicy(AccessPolicy):
+    """The failure-oblivious build: discard invalid writes, manufacture reads.
+
+    Parameters
+    ----------
+    sequence:
+        Generator of manufactured values.  Defaults to the paper's sequence
+        (small integers, 0 and 1 favoured).  Ablation benchmarks pass the
+        degenerate sequences from :mod:`repro.core.manufacture`.
+    error_log:
+        Optional shared memory-error log (the §3 administrator log).
+    """
+
+    name = "failure-oblivious"
+    performs_checks = True
+
+    def __init__(
+        self,
+        error_log: Optional[MemoryErrorLog] = None,
+        sequence: Optional[ManufacturedValueSequence] = None,
+    ) -> None:
+        super().__init__(error_log=error_log)
+        self.sequence = sequence if sequence is not None else ManufacturedValueSequence()
+
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        self.record_event(event)
+        data = self.sequence.next_bytes(length)
+        self.stats.manufactured_values += length
+        return AccessDecision.supply(data)
+
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        self.record_event(event)
+        self.stats.discarded_bytes += len(data)
+        return AccessDecision.discard()
+
+
+class BoundlessPolicy(FailureObliviousPolicy):
+    """§5.1 boundless memory blocks: out-of-bounds writes are remembered.
+
+    Invalid writes are stored in a hash table indexed by the data unit identity
+    and byte offset; invalid reads first consult the table and fall back to the
+    manufactured value sequence for bytes that were never written.  This
+    "eliminates size calculation errors" — a program whose only mistake is an
+    undersized buffer behaves as if the buffer were large enough.
+    """
+
+    name = "boundless"
+
+    def __init__(
+        self,
+        error_log: Optional[MemoryErrorLog] = None,
+        sequence: Optional[ManufacturedValueSequence] = None,
+        max_stored_bytes: int = 1 << 20,
+    ) -> None:
+        super().__init__(error_log=error_log, sequence=sequence)
+        self.max_stored_bytes = max_stored_bytes
+        self._store: Dict[Tuple[str, int, int], int] = {}
+
+    def _key(self, event: MemoryErrorEvent, offset: int) -> Tuple[str, int, int]:
+        # unit_name alone is not unique (many allocations share a label), so the
+        # unit's size participates too; the accessor additionally passes a unique
+        # unit serial through event.unit_name when available.
+        return (event.unit_name, event.unit_size, offset)
+
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        self.record_event(event)
+        if len(self._store) + len(data) <= self.max_stored_bytes:
+            for i, byte in enumerate(data):
+                self._store[self._key(event, event.offset + i)] = byte
+            self.stats.stored_out_of_bounds_bytes += len(data)
+            return AccessDecision.discard()
+        # Store full: degrade gracefully to plain failure-oblivious behaviour.
+        self.stats.discarded_bytes += len(data)
+        return AccessDecision.discard()
+
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        self.record_event(event)
+        data = bytearray()
+        for i in range(length):
+            key = self._key(event, event.offset + i)
+            if key in self._store:
+                data.append(self._store[key])
+            else:
+                data.append(self.sequence.next_byte())
+                self.stats.manufactured_values += 1
+        return AccessDecision.supply(bytes(data))
+
+    def stored_bytes(self) -> int:
+        """Return how many out-of-bounds bytes are currently remembered."""
+        return len(self._store)
+
+
+class RedirectPolicy(AccessPolicy):
+    """§5.1 redirect variant: wrap out-of-bounds accesses back into the unit.
+
+    An access at offset ``o`` of an ``n``-byte unit is performed at
+    ``o % n`` instead.  This keeps related out-of-bounds reads mutually
+    consistent because they observe properly initialized data from the same
+    unit.  Accesses to dead (freed) units cannot be redirected and fall back to
+    failure-oblivious behaviour.
+    """
+
+    name = "redirect"
+    performs_checks = True
+
+    def __init__(
+        self,
+        error_log: Optional[MemoryErrorLog] = None,
+        sequence: Optional[ManufacturedValueSequence] = None,
+    ) -> None:
+        super().__init__(error_log=error_log)
+        self.sequence = sequence if sequence is not None else ManufacturedValueSequence()
+
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        self.record_event(event)
+        if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
+            data = self.sequence.next_bytes(length)
+            self.stats.manufactured_values += length
+            return AccessDecision.supply(data)
+        self.stats.redirected_accesses += 1
+        return AccessDecision.redirect(event.offset % event.unit_size)
+
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        self.record_event(event)
+        if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
+            self.stats.discarded_bytes += len(data)
+            return AccessDecision.discard()
+        self.stats.redirected_accesses += 1
+        return AccessDecision.redirect(event.offset % event.unit_size)
+
+
+#: Registry of policy names used by the harness's command-line style configuration.
+POLICY_NAMES = {
+    "standard": StandardPolicy,
+    "bounds-check": BoundsCheckPolicy,
+    "failure-oblivious": FailureObliviousPolicy,
+    "boundless": BoundlessPolicy,
+    "redirect": RedirectPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> AccessPolicy:
+    """Instantiate a policy by its registry name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of :data:`POLICY_NAMES`.
+    """
+    try:
+        cls = POLICY_NAMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; expected one of {sorted(POLICY_NAMES)}"
+        ) from None
+    return cls(**kwargs)

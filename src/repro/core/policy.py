@@ -1,0 +1,175 @@
+"""The access-policy interface that defines a build variant.
+
+A *policy* answers the question the paper's continuation code answers: what
+happens at the moment the program attempts an invalid memory access?  The
+simulated memory substrate (:mod:`repro.memory`) routes every access through a
+:class:`~repro.memory.accessor.MemoryAccessor`, which consults its policy:
+
+* if the policy does not perform checks (the *Standard* build), the raw access
+  is performed at the computed address, corruption and all;
+* if it does perform checks and the access is invalid, the policy returns an
+  :class:`AccessDecision` saying whether to raise, discard, supply manufactured
+  bytes, or redirect the access to a different location.
+
+The concrete policies live in :mod:`repro.core.policies`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errorlog import MemoryErrorLog
+from repro.errors import MemoryErrorEvent
+
+
+class DecisionAction(enum.Enum):
+    """The continuation chosen by a policy for one invalid access."""
+
+    #: Raise the attached exception, terminating the computation.
+    RAISE = "raise"
+    #: Invalid write: silently drop the value (failure-oblivious writes).
+    DISCARD = "discard"
+    #: Invalid read: return the attached manufactured bytes (failure-oblivious reads).
+    SUPPLY = "supply"
+    #: Perform the access at a substitute in-bounds offset (redirect variant,
+    #: and boundless reads/writes backed by the policy's side store).
+    REDIRECT = "redirect"
+    #: Perform the raw access at the originally computed address (unchecked).
+    PERFORM_RAW = "perform-raw"
+
+
+@dataclass
+class AccessDecision:
+    """What the memory accessor should do for one invalid access.
+
+    Exactly one of the optional payload fields is meaningful, selected by
+    ``action``:  ``exception`` for RAISE, ``data`` for SUPPLY, and
+    ``redirect_offset`` for REDIRECT.
+    """
+
+    action: DecisionAction
+    data: Optional[bytes] = None
+    exception: Optional[BaseException] = None
+    redirect_offset: Optional[int] = None
+
+    @classmethod
+    def raise_(cls, exception: BaseException) -> "AccessDecision":
+        """Decision that terminates the computation with ``exception``."""
+        return cls(action=DecisionAction.RAISE, exception=exception)
+
+    @classmethod
+    def discard(cls) -> "AccessDecision":
+        """Decision that drops an invalid write."""
+        return cls(action=DecisionAction.DISCARD)
+
+    @classmethod
+    def supply(cls, data: bytes) -> "AccessDecision":
+        """Decision that satisfies an invalid read with manufactured ``data``."""
+        return cls(action=DecisionAction.SUPPLY, data=data)
+
+    @classmethod
+    def redirect(cls, offset: int) -> "AccessDecision":
+        """Decision that performs the access at in-unit ``offset`` instead."""
+        return cls(action=DecisionAction.REDIRECT, redirect_offset=offset)
+
+    @classmethod
+    def perform_raw(cls) -> "AccessDecision":
+        """Decision that performs the unchecked access as-is."""
+        return cls(action=DecisionAction.PERFORM_RAW)
+
+
+@dataclass
+class PolicyStatistics:
+    """Aggregate counters maintained by every policy.
+
+    ``checks_performed`` counts bounds checks executed (the overhead source in
+    the paper's performance figures); the invalid counters track continuation
+    code executions.
+    """
+
+    checks_performed: int = 0
+    invalid_reads: int = 0
+    invalid_writes: int = 0
+    manufactured_values: int = 0
+    discarded_bytes: int = 0
+    redirected_accesses: int = 0
+    stored_out_of_bounds_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.checks_performed = 0
+        self.invalid_reads = 0
+        self.invalid_writes = 0
+        self.manufactured_values = 0
+        self.discarded_bytes = 0
+        self.redirected_accesses = 0
+        self.stored_out_of_bounds_bytes = 0
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "checks_performed": self.checks_performed,
+            "invalid_reads": self.invalid_reads,
+            "invalid_writes": self.invalid_writes,
+            "manufactured_values": self.manufactured_values,
+            "discarded_bytes": self.discarded_bytes,
+            "redirected_accesses": self.redirected_accesses,
+            "stored_out_of_bounds_bytes": self.stored_out_of_bounds_bytes,
+        }
+
+
+class AccessPolicy(ABC):
+    """Interface implemented by every build variant.
+
+    Subclasses override :meth:`on_invalid_read` and :meth:`on_invalid_write`;
+    the accessor only calls them when :attr:`performs_checks` is True and a
+    check failed.
+    """
+
+    #: Short machine-readable name used by the harness and reports.
+    name: str = "abstract"
+    #: Whether the accessor should run bounds checks at all.  The Standard
+    #: build sets this to False, which is also why it is the fastest build.
+    performs_checks: bool = True
+
+    def __init__(self, error_log: Optional[MemoryErrorLog] = None) -> None:
+        self.error_log = error_log if error_log is not None else MemoryErrorLog()
+        self.stats = PolicyStatistics()
+
+    # -- hooks ---------------------------------------------------------------
+
+    @abstractmethod
+    def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
+        """Decide what to do about an invalid read of ``length`` bytes."""
+
+    @abstractmethod
+    def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        """Decide what to do about an invalid write of ``data``."""
+
+    # -- shared bookkeeping ----------------------------------------------------
+
+    def note_check(self) -> None:
+        """Record that one bounds check was executed."""
+        self.stats.checks_performed += 1
+
+    def record_event(self, event: MemoryErrorEvent) -> None:
+        """Log an invalid access attempt and bump the per-direction counter."""
+        self.error_log.record(event)
+        if event.access.value == "read":
+            self.stats.invalid_reads += 1
+        else:
+            self.stats.invalid_writes += 1
+
+    def reset_statistics(self) -> None:
+        """Zero the statistics counters (the error log is left untouched)."""
+        self.stats.reset()
+
+    def describe(self) -> str:
+        """Return a short human readable description of the policy."""
+        return f"{self.name} (checks={'on' if self.performs_checks else 'off'})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"

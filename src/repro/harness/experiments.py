@@ -1,0 +1,312 @@
+"""The experiment registry: one entry per table/figure in the paper's evaluation.
+
+Each entry maps an experiment id (the ids used in DESIGN.md and
+EXPERIMENTS.md) to a callable that runs the experiment and returns an
+:class:`ExperimentOutput` containing both structured results and a formatted
+text table.  The benchmark suite under ``benchmarks/`` and the examples under
+``examples/`` are thin wrappers around this registry, so there is exactly one
+implementation of every experiment.
+
+Experiment ids
+--------------
+``fig2`` .. ``fig6``
+    Request processing time tables for Pine, Apache, Sendmail, Midnight
+    Commander, and Mutt (Standard vs Failure Oblivious, with slowdowns).
+``tab-security``
+    The §4.x.2 security/resilience matrix for all five servers and three builds.
+``exp-throughput``
+    Apache legitimate-request throughput while under attack (§4.3.2).
+``exp-stability``
+    Long mixed workloads with periodic attacks for every server (§4.x.4).
+``exp-variants``
+    §5.1 variants (boundless memory blocks, redirect) on the attack scenarios.
+``exp-propagation``
+    Error propagation distance measurements supporting §1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.propagation import measure_propagation
+from repro.analysis.security import assess_security
+from repro.harness.report import (
+    format_figure_table,
+    format_security_matrix,
+    format_simple_table,
+)
+from repro.harness.runner import run_performance_figure, run_security_matrix
+from repro.harness.stability import run_stability_experiment
+from repro.harness.throughput import run_throughput_experiment, throughput_ratio
+from repro.servers import SERVER_CLASSES
+from repro.workloads.attacks import attack_request_for
+from repro.workloads.benign import benign_requests_for
+from repro.workloads.streams import mixed_stream
+
+
+@dataclass
+class ExperimentOutput:
+    """The result of running one registered experiment."""
+
+    experiment_id: str
+    title: str
+    table: str
+    data: object = None
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience for scripts
+        parts = [self.title, "", self.table]
+        if self.notes:
+            parts.extend(["", *self.notes])
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-6
+# ---------------------------------------------------------------------------
+
+_FIGURE_SERVERS = {
+    "fig2": "pine",
+    "fig3": "apache",
+    "fig4": "sendmail",
+    "fig5": "midnight-commander",
+    "fig6": "mutt",
+}
+
+
+def _run_figure(experiment_id: str, repetitions: int = 20, scale: float = 1.0) -> ExperimentOutput:
+    server_name = _FIGURE_SERVERS[experiment_id]
+    rows = run_performance_figure(server_name, repetitions=repetitions, scale=scale)
+    table = format_figure_table(rows)
+    notes = [
+        "Times are from the simulated substrate, not the paper's testbed;",
+        "compare the Slowdown column with the paper's figure of the same number.",
+    ]
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=f"Request processing times for {server_name} (paper Figure {experiment_id[3:]})",
+        table=table,
+        data=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Security matrix
+# ---------------------------------------------------------------------------
+
+
+def _run_security(repetitions: int = 1, scale: float = 0.25) -> ExperimentOutput:
+    cells = run_security_matrix(scale=scale)
+    assessments = assess_security(cells=cells)
+    table = format_security_matrix(cells)
+    verdict_rows = [
+        (a.server, a.policy, a.verdict()) for a in assessments
+    ]
+    verdict_table = format_simple_table(
+        ["server", "build", "verdict"], verdict_rows, title="Security verdicts"
+    )
+    return ExperimentOutput(
+        experiment_id="tab-security",
+        title="Security and resilience under the documented attacks (§4.2.2-§4.6.2)",
+        table=table + "\n\n" + verdict_table,
+        data={"cells": cells, "assessments": assessments},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Apache throughput under attack
+# ---------------------------------------------------------------------------
+
+
+def _run_throughput(
+    attack_fraction: float = 0.6, total_requests: int = 240, pool_size: int = 4
+) -> ExperimentOutput:
+    results = run_throughput_experiment(
+        attack_fraction=attack_fraction,
+        total_requests=total_requests,
+        pool_size=pool_size,
+    )
+    rows = [
+        (
+            policy,
+            result.legitimate_served,
+            result.child_deaths,
+            f"{result.total_seconds:.3f}s",
+            f"{result.throughput_rps:.1f}",
+        )
+        for policy, result in results.items()
+    ]
+    table = format_simple_table(
+        ["build", "legitimate served", "child deaths", "service time", "throughput (req/s)"],
+        rows,
+        title="Apache throughput while under attack (§4.3.2)",
+    )
+    fo_over_bc = throughput_ratio(results, "failure-oblivious", "bounds-check")
+    fo_over_std = throughput_ratio(results, "failure-oblivious", "standard")
+    notes = [
+        f"failure-oblivious / bounds-check throughput ratio: {fo_over_bc:.1f}x (paper: ~5.7x)",
+        f"failure-oblivious / standard throughput ratio: {fo_over_std:.1f}x (paper: ~4.8x)",
+    ]
+    return ExperimentOutput(
+        experiment_id="exp-throughput",
+        title="Apache throughput under attack",
+        table=table,
+        data={"results": results, "fo_over_bc": fo_over_bc, "fo_over_std": fo_over_std},
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stability
+# ---------------------------------------------------------------------------
+
+
+def _run_stability(
+    total_requests: int = 120, attack_every: int = 20, scale: float = 0.25
+) -> ExperimentOutput:
+    rows = []
+    results = {}
+    for server_name in sorted(SERVER_CLASSES):
+        result = run_stability_experiment(
+            server_name,
+            "failure-oblivious",
+            total_requests=total_requests,
+            attack_every=attack_every,
+            scale=scale,
+        )
+        results[server_name] = result
+        rows.append(
+            (
+                server_name,
+                result.legitimate_served,
+                result.legitimate_failed,
+                result.attacks_survived,
+                result.attack_requests,
+                result.server_deaths,
+                result.memory_errors_logged,
+                "yes" if result.flawless else "NO",
+            )
+        )
+    table = format_simple_table(
+        [
+            "server",
+            "legit served",
+            "legit failed",
+            "attacks survived",
+            "attacks sent",
+            "deaths",
+            "errors logged",
+            "flawless",
+        ],
+        rows,
+        title="Failure-oblivious stability under periodic attack (§4.x.4)",
+    )
+    return ExperimentOutput(
+        experiment_id="exp-stability",
+        title="Stability of the failure-oblivious builds",
+        table=table,
+        data=results,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §5.1 variants
+# ---------------------------------------------------------------------------
+
+
+def _run_variants(scale: float = 0.25) -> ExperimentOutput:
+    policies = ("failure-oblivious", "boundless", "redirect")
+    cells = run_security_matrix(policies=policies, scale=scale)
+    table = format_security_matrix(
+        cells, title="§5.1 variants: boundless memory blocks and redirect"
+    )
+    survived = {
+        policy: all(
+            cell.continued_service for cell in cells if cell.policy == policy
+        )
+        for policy in policies
+    }
+    notes = [
+        f"{policy}: {'all servers keep serving' if ok else 'service degraded'}"
+        for policy, ok in survived.items()
+    ]
+    return ExperimentOutput(
+        experiment_id="exp-variants",
+        title="Continuation-code variants (§5.1)",
+        table=table,
+        data={"cells": cells, "survived": survived},
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Error propagation distances
+# ---------------------------------------------------------------------------
+
+
+def _run_propagation(total_requests: int = 40, attack_every: int = 8, scale: float = 0.25) -> ExperimentOutput:
+    rows = []
+    reports = {}
+    for server_name in sorted(SERVER_CLASSES):
+        stream = mixed_stream(
+            server_name, total_requests=total_requests, attack_every=attack_every
+        )
+        report = measure_propagation(server_name, "failure-oblivious", list(stream))
+        reports[server_name] = report
+        rows.append(
+            (
+                server_name,
+                report.error_requests,
+                f"{report.max_control_distance:g}",
+                f"{report.max_data_distance:g}",
+                "yes" if report.short_propagation else "no",
+            )
+        )
+    table = format_simple_table(
+        ["server", "requests with errors", "max control distance", "max data distance", "short propagation"],
+        rows,
+        title="Error propagation distances under failure-oblivious execution (§1.2)",
+    )
+    return ExperimentOutput(
+        experiment_id="exp-propagation",
+        title="Error propagation distances",
+        table=table,
+        data=reports,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
+    "fig2": lambda **kw: _run_figure("fig2", **kw),
+    "fig3": lambda **kw: _run_figure("fig3", **kw),
+    "fig4": lambda **kw: _run_figure("fig4", **kw),
+    "fig5": lambda **kw: _run_figure("fig5", **kw),
+    "fig6": lambda **kw: _run_figure("fig6", **kw),
+    "tab-security": _run_security,
+    "exp-throughput": _run_throughput,
+    "exp-stability": _run_stability,
+    "exp-variants": _run_variants,
+    "exp-propagation": _run_propagation,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutput:
+    """Run a registered experiment by id.
+
+    Raises
+    ------
+    KeyError
+        If ``experiment_id`` is not in :data:`EXPERIMENTS`.
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; expected one of {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

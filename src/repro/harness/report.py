@@ -1,0 +1,98 @@
+"""Plain-text tables shaped like the paper's figures.
+
+The formatting mirrors the layout of Figures 2-6 (request, Standard time,
+Failure Oblivious time, Slowdown) and adds a security matrix table summarizing
+the §4.x.2 results.  The absolute times are from this reproduction's simulated
+servers; the columns and the slowdown ratios are what should be compared with
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import RequestOutcome
+from repro.harness.runner import FigureRow, SecurityCell, FIGURE_NUMBERS
+
+
+def _format_cell(mean_ms: float, stdev_percent: float) -> str:
+    if mean_ms != mean_ms:  # NaN: the build failed to boot or serve
+        return "unavailable"
+    return f"{mean_ms:9.3f} ms ± {stdev_percent:4.1f}%"
+
+
+def format_figure_table(rows: Sequence[FigureRow], title: str = "") -> str:
+    """Render one of Figures 2-6 as a text table."""
+    if not rows:
+        return "(no rows)"
+    server = rows[0].server
+    heading = title or (
+        f"Figure {FIGURE_NUMBERS.get(server, '?')}: Request Processing Times for "
+        f"{server} (reproduction)"
+    )
+    lines = [heading, ""]
+    header = f"{'Request':<14} {'Standard':>22} {'Failure Oblivious':>22} {'Slowdown':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        ratio = row.slowdown
+        ratio_text = f"{ratio:8.2f}" if ratio == ratio else "     n/a"
+        lines.append(
+            f"{row.request_kind:<14} "
+            f"{_format_cell(row.baseline.mean_ms, row.baseline.stdev_percent):>22} "
+            f"{_format_cell(row.failure_oblivious.mean_ms, row.failure_oblivious.stdev_percent):>22} "
+            f"{ratio_text:>9}"
+        )
+    return "\n".join(lines)
+
+
+_OUTCOME_LABELS = {
+    RequestOutcome.SERVED: "served",
+    RequestOutcome.REJECTED_BY_ERROR_HANDLING: "rejected (anticipated error)",
+    RequestOutcome.CRASHED: "CRASHED",
+    RequestOutcome.TERMINATED_BY_CHECK: "terminated by check",
+    RequestOutcome.EXPLOITED: "EXPLOITED",
+    RequestOutcome.HUNG: "HUNG",
+    None: "-",
+}
+
+
+def format_security_matrix(cells: Iterable[SecurityCell], title: str = "") -> str:
+    """Render the security/resilience matrix (§4.2.2-§4.6.2) as a text table."""
+    heading = title or "Security and resilience: behaviour with the documented error trigger"
+    lines = [heading, ""]
+    header = (
+        f"{'Server':<20} {'Build':<18} {'Boot':<28} {'Attack request':<28} "
+        f"{'Keeps serving users':<20} {'Errors logged':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in cells:
+        lines.append(
+            f"{cell.server:<20} {cell.policy:<18} "
+            f"{_OUTCOME_LABELS.get(cell.boot_outcome, str(cell.boot_outcome)):<28} "
+            f"{_OUTCOME_LABELS.get(cell.attack_outcome, str(cell.attack_outcome)):<28} "
+            f"{'yes' if cell.continued_service else 'NO':<20} "
+            f"{cell.memory_errors_logged:>13}"
+        )
+    return "\n".join(lines)
+
+
+def format_simple_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a generic table (used by throughput / stability / ablation reports)."""
+    widths: List[int] = [len(str(h)) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        text_row = [str(value) for value in row]
+        text_rows.append(text_row)
+        for i, value in enumerate(text_row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.extend([title, ""])
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for text_row in text_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(text_row)))
+    return "\n".join(lines)

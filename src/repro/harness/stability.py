@@ -1,0 +1,141 @@
+"""Stability experiments: long mixed workloads with periodic attack injection.
+
+The paper's stability sections (§4.2.4, §4.3.4, §4.4.4, §4.5.4, §4.6.4) deploy
+the failure-oblivious build of each server into daily use, periodically feed
+it the attack input, and check that it keeps performing all requests
+flawlessly.  They also read the memory-error log to observe benign errors
+(Sendmail's wake-up error, Midnight Commander's blank-configuration-line
+error).
+
+:func:`run_stability_experiment` reproduces the shape of those experiments: a
+long, seeded, mostly-legitimate request stream with attacks injected every N
+requests, run under a chosen build, reporting how many legitimate requests
+were served, whether the server ever went down, how often it had to be
+restarted, and what the error log recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import RequestOutcome
+from repro.harness.runner import build_server, _follow_up_requests
+from repro.servers.base import Server
+from repro.workloads.streams import RequestStream, mixed_stream
+
+
+@dataclass
+class StabilityResult:
+    """Summary of one long-running stability experiment."""
+
+    server: str
+    policy: str
+    total_requests: int
+    attack_requests: int
+    legitimate_requests: int
+    legitimate_served: int
+    legitimate_failed: int
+    attacks_survived: int
+    server_deaths: int
+    restarts: int
+    memory_errors_logged: int
+    error_sites: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def legitimate_service_rate(self) -> float:
+        """Fraction of legitimate requests served successfully (availability)."""
+        if self.legitimate_requests == 0:
+            return 0.0
+        return self.legitimate_served / self.legitimate_requests
+
+    @property
+    def flawless(self) -> bool:
+        """The paper's criterion: every legitimate request served, no downtime."""
+        return self.server_deaths == 0 and self.legitimate_failed == 0
+
+
+def run_stability_experiment(
+    server_name: str,
+    policy_name: str,
+    total_requests: int = 200,
+    attack_every: int = 25,
+    restart_on_death: bool = True,
+    seed: int = 20040101,
+    scale: float = 0.25,
+    stream: Optional[RequestStream] = None,
+) -> StabilityResult:
+    """Run a long mixed workload against one build of one server.
+
+    ``restart_on_death`` models the obvious operational response for the
+    Standard and Bounds Check builds (a monitor that restarts the server);
+    the failure-oblivious build should never need it.
+    """
+    workload = stream if stream is not None else mixed_stream(
+        server_name, total_requests=total_requests, attack_every=attack_every, seed=seed
+    )
+    server: Server = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    boot = server.start()
+    server_deaths = 1 if boot.fatal else 0
+    restarts = 0
+    if boot.fatal and restart_on_death:
+        # A restart with the same environment hits the same startup error for
+        # Pine/Mutt (the trigger persists in the mailbox/configuration), which
+        # is exactly the paper's point about restart-based recovery; we retry
+        # once to model the monitor and then give up.
+        server.restart()
+        restarts += 1
+        if not server.alive:
+            server_deaths += 1
+
+    # Session setup: bring the user interface back to a normal working state
+    # (e.g. Mutt re-opens the INBOX after the startup folder was rejected).
+    # These requests are not counted in the workload statistics.
+    if server.alive:
+        for setup_request in _follow_up_requests(server_name):
+            server.process(setup_request)
+
+    legitimate_served = 0
+    legitimate_failed = 0
+    attacks_survived = 0
+    memory_errors = 0
+    error_sites: Dict[str, int] = {}
+
+    for request in workload:
+        if not server.alive:
+            if restart_on_death:
+                server.restart()
+                restarts += 1
+            if not server.alive:
+                if not request.is_attack:
+                    legitimate_failed += 1
+                continue
+        result = server.process(request)
+        memory_errors += len(result.memory_errors)
+        for event in result.memory_errors:
+            error_sites[event.site] = error_sites.get(event.site, 0) + 1
+        if result.fatal:
+            server_deaths += 1
+        if request.is_attack:
+            if not result.fatal:
+                attacks_survived += 1
+        else:
+            if result.outcome is RequestOutcome.SERVED:
+                legitimate_served += 1
+            else:
+                legitimate_failed += 1
+
+    return StabilityResult(
+        server=server_name,
+        policy=policy_name,
+        total_requests=len(workload),
+        attack_requests=workload.attack_count,
+        legitimate_requests=workload.legitimate_count,
+        legitimate_served=legitimate_served,
+        legitimate_failed=legitimate_failed,
+        attacks_survived=attacks_survived,
+        server_deaths=server_deaths,
+        restarts=restarts,
+        memory_errors_logged=memory_errors,
+        error_sites=error_sites,
+    )

@@ -1,0 +1,102 @@
+"""The Apache throughput-under-attack experiment (§4.3.2).
+
+The paper loads Apache with requests that trigger the rewrite overflow while a
+separate client repeatedly fetches the project home page, and measures the
+throughput seen by that client.  Because the Bounds Check (and Standard)
+children die on every attack request, the pre-fork pool spends its time
+killing and re-forking children, and legitimate throughput collapses:
+
+    "the Failure Oblivious version provides a throughput roughly 5.7 times
+    more than the Bounds Check version provides (the insecure Standard
+    version provides a throughput roughly 4.8 times less than the Failure
+    Oblivious version)"
+
+:func:`run_throughput_experiment` reproduces the setup against the simulated
+child pool and reports legitimate requests served per second of simulated
+service time (request handling plus any child restart work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.policies import POLICY_NAMES
+from repro.errors import RequestOutcome
+from repro.servers.apache import ChildProcessPool
+from repro.workloads.attacks import apache_vulnerable_config
+from repro.workloads.streams import RequestStream, throughput_stream
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput of legitimate requests for one build variant."""
+
+    policy: str
+    legitimate_served: int
+    legitimate_requests: int
+    attack_requests: int
+    child_deaths: int
+    service_seconds: float
+    restart_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Request service time plus child restart time."""
+        return self.service_seconds + self.restart_seconds
+
+    @property
+    def throughput_rps(self) -> float:
+        """Legitimate requests served per second of total service time."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.legitimate_served / self.total_seconds
+
+
+def run_throughput_experiment(
+    policies: Sequence[str] = ("standard", "bounds-check", "failure-oblivious"),
+    attack_fraction: float = 0.6,
+    total_requests: int = 300,
+    pool_size: int = 4,
+    seed: int = 20040102,
+    stream: Optional[RequestStream] = None,
+) -> Dict[str, ThroughputResult]:
+    """Measure legitimate-request throughput for each build while under attack."""
+    results: Dict[str, ThroughputResult] = {}
+    for policy_name in policies:
+        if policy_name not in POLICY_NAMES:
+            raise KeyError(f"unknown policy {policy_name!r}")
+        workload = stream if stream is not None else throughput_stream(
+            attack_fraction=attack_fraction, total_requests=total_requests, seed=seed
+        )
+        pool = ChildProcessPool(
+            POLICY_NAMES[policy_name],
+            pool_size=pool_size,
+            config=apache_vulnerable_config(),
+        )
+        service_seconds = 0.0
+        legitimate_served = 0
+        for request in workload:
+            result = pool.dispatch(request)
+            service_seconds += result.elapsed_seconds
+            if not request.is_attack and result.outcome is RequestOutcome.SERVED:
+                legitimate_served += 1
+        results[policy_name] = ThroughputResult(
+            policy=policy_name,
+            legitimate_served=legitimate_served,
+            legitimate_requests=workload.legitimate_count,
+            attack_requests=workload.attack_count,
+            child_deaths=pool.child_deaths,
+            service_seconds=service_seconds,
+            restart_seconds=pool.restart_seconds,
+        )
+    return results
+
+
+def throughput_ratio(results: Dict[str, ThroughputResult], numerator: str, denominator: str) -> float:
+    """Ratio of two builds' throughputs (e.g. failure-oblivious over bounds-check)."""
+    num = results[numerator].throughput_rps
+    den = results[denominator].throughput_rps
+    if den == 0:
+        return float("inf")
+    return num / den

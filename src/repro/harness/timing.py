@@ -1,0 +1,184 @@
+"""Request-time measurement in the style of the paper's performance figures.
+
+The paper instruments each server to record the time when it starts and stops
+processing a request, repeats each request at least twenty times, and reports
+the mean and standard deviation (§4.1).  :func:`measure_request_time` does the
+same for our simulated servers; the absolute numbers are of course different
+(this is a Python simulation, not a 2.8 GHz Pentium 4), but the slowdown
+ratios between build variants are directly comparable to the paper's
+``Slowdown`` columns.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import RequestOutcome
+from repro.servers.base import Request, Server
+
+
+@dataclass
+class TimingResult:
+    """Mean / standard deviation of request processing time over N repetitions."""
+
+    label: str
+    samples_seconds: List[float] = field(default_factory=list)
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+
+    @property
+    def repetitions(self) -> int:
+        """Number of measured repetitions."""
+        return len(self.samples_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean request processing time in seconds."""
+        return statistics.fmean(self.samples_seconds) if self.samples_seconds else math.nan
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean request processing time in milliseconds (the paper's unit)."""
+        return self.mean_seconds * 1000.0
+
+    @property
+    def stdev_seconds(self) -> float:
+        """Sample standard deviation in seconds (0 for a single sample)."""
+        if len(self.samples_seconds) < 2:
+            return 0.0
+        return statistics.stdev(self.samples_seconds)
+
+    @property
+    def stdev_percent(self) -> float:
+        """Standard deviation as a percentage of the mean, as the paper reports."""
+        mean = self.mean_seconds
+        if not mean:
+            return 0.0
+        return 100.0 * self.stdev_seconds / mean
+
+    @property
+    def all_served(self) -> bool:
+        """True if every measured repetition was served successfully."""
+        return all(outcome is RequestOutcome.SERVED for outcome in self.outcomes)
+
+    def describe(self) -> str:
+        """Human readable one-liner, e.g. ``read: 1.98 ms ± 1.5%``."""
+        return f"{self.label}: {self.mean_ms:.3f} ms ± {self.stdev_percent:.1f}%"
+
+
+def measure_request_time(
+    server: Server,
+    request_factory: Callable[[int], Request],
+    repetitions: int = 20,
+    reset: Optional[Callable[[Server, int], None]] = None,
+    warmup: int = 3,
+    label: str = "",
+) -> TimingResult:
+    """Measure the processing time of one request kind on a live server.
+
+    Parameters
+    ----------
+    server:
+        A started server.  The measurement uses the server's own elapsed-time
+        accounting (the analogue of the paper's start/stop instrumentation).
+    request_factory:
+        Callable mapping the repetition index to a fresh :class:`Request`.
+    repetitions:
+        Number of measured repetitions (the paper uses at least twenty).
+    reset:
+        Optional callable invoked before every repetition to restore state the
+        request consumes (e.g. re-creating the file a Delete request removes).
+    warmup:
+        Unmeasured repetitions executed first.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    result = TimingResult(label=label)
+    # Collector pauses are the dominant source of outliers at sub-millisecond
+    # request times, so the measurement loop runs with the collector disabled
+    # (the paper's instrumentation has no analogous noise source).
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for index in range(warmup + repetitions):
+            if reset is not None:
+                reset(server, index)
+            request = request_factory(index)
+            request_result = server.process(request)
+            if index >= warmup:
+                result.samples_seconds.append(request_result.elapsed_seconds)
+                result.outcomes.append(request_result.outcome)
+            if request_result.fatal:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result
+
+
+def measure_paired(
+    servers: "dict[str, Server]",
+    request_factory: Callable[[int], Request],
+    repetitions: int = 20,
+    reset: Optional[Callable[[Server, int], None]] = None,
+    warmup: int = 3,
+    label: str = "",
+) -> "dict[str, TimingResult]":
+    """Measure the same request kind on several builds with interleaved repetitions.
+
+    Running repetition *i* on every build before moving to repetition *i+1*
+    equalizes environmental drift (allocator warm-up, cache state, CPU
+    frequency changes) across the builds, which matters because the quantity
+    of interest is the ratio between them, not either absolute time.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    results = {name: TimingResult(label=f"{label} ({name})") for name in servers}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for index in range(warmup + repetitions):
+            for name, server in servers.items():
+                if not server.alive:
+                    continue
+                if reset is not None:
+                    reset(server, index)
+                request_result = server.process(request_factory(index))
+                if index >= warmup:
+                    results[name].samples_seconds.append(request_result.elapsed_seconds)
+                    results[name].outcomes.append(request_result.outcome)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return results
+
+
+def slowdown(baseline: TimingResult, other: TimingResult) -> float:
+    """Return how many times slower ``other`` is than ``baseline`` (paper's Slowdown)."""
+    if not baseline.samples_seconds or not other.samples_seconds:
+        return math.nan
+    if baseline.mean_seconds == 0:
+        return math.inf
+    return other.mean_seconds / baseline.mean_seconds
+
+
+def interactive_pause_acceptable(result: TimingResult, threshold_ms: float = 100.0) -> bool:
+    """The paper's interactivity criterion: pause times under ~100 ms are imperceptible."""
+    return result.mean_ms < threshold_ms
+
+
+def aggregate_means(results: Sequence[TimingResult]) -> float:
+    """Mean of means, used for coarse summaries across request kinds."""
+    means = [r.mean_seconds for r in results if r.samples_seconds]
+    return statistics.fmean(means) if means else math.nan
+
+
+def wall_clock() -> float:
+    """Thin wrapper over the monotonic clock used across the harness."""
+    return time.perf_counter()

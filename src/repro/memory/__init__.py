@@ -1,0 +1,48 @@
+"""Simulated C memory substrate.
+
+The paper's mechanism operates at the level of individual memory accesses in a
+C address space.  This package provides the Python stand-in for that substrate:
+
+* :class:`~repro.memory.address_space.AddressSpace` — a flat, segmented byte
+  store in which out-of-bounds writes really do land somewhere (neighbouring
+  allocations, heap metadata, the call stack) and unmapped accesses fault.
+* :class:`~repro.memory.data_unit.DataUnit` and
+  :class:`~repro.memory.object_table.ObjectTable` — the Jones & Kelly object
+  table that the CRED checker uses to distinguish legal from illegal accesses.
+* :class:`~repro.memory.allocator.HeapAllocator` — a free-list allocator whose
+  in-band chunk headers can be smashed by unchecked overflows.
+* :class:`~repro.memory.stack.CallStack` — simulated stack frames with return
+  address slots that unchecked overflows can overwrite.
+* :class:`~repro.memory.pointer.FatPointer` — a pointer that remembers its
+  intended referent (Ruwase & Lam's out-of-bounds objects), so a pointer that
+  has walked past the end of its buffer is still associated with that buffer.
+* :class:`~repro.memory.accessor.MemoryAccessor` — routes every read and write
+  through the active :class:`~repro.core.policy.AccessPolicy`.
+* :class:`~repro.memory.context.MemoryContext` — the convenience bundle the
+  server reimplementations program against (their "libc").
+* :mod:`~repro.memory.cstring` — strcpy/strcat/strlen/memcpy/sprintf analogues
+  operating on simulated memory.
+"""
+
+from repro.memory.address_space import AddressSpace, Segment
+from repro.memory.accessor import MemoryAccessor
+from repro.memory.allocator import HeapAllocator
+from repro.memory.context import MemoryContext
+from repro.memory.data_unit import DataUnit, UnitKind
+from repro.memory.object_table import ObjectTable
+from repro.memory.pointer import FatPointer
+from repro.memory.stack import CallStack, StackFrame
+
+__all__ = [
+    "AddressSpace",
+    "Segment",
+    "MemoryAccessor",
+    "HeapAllocator",
+    "MemoryContext",
+    "DataUnit",
+    "UnitKind",
+    "ObjectTable",
+    "FatPointer",
+    "CallStack",
+    "StackFrame",
+]

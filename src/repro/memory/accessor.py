@@ -1,0 +1,235 @@
+"""The memory accessor: every load and store goes through here.
+
+The accessor is the compiled program's view of memory.  For the Standard
+(unchecked) policy it performs raw accesses at the computed address — which is
+what lets overflows smash neighbouring allocations, heap metadata, and saved
+return addresses.  For checking policies it first validates the access against
+the pointer's intended referent and, on failure, executes whatever continuation
+the policy chooses: terminate (Bounds Check), discard/manufacture (Failure
+Oblivious), remember (Boundless), or redirect (Redirect).
+
+Partial overflows behave like the byte-by-byte C code they model: the in-bounds
+prefix of a block access is performed normally and only the out-of-bounds
+suffix is subject to the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import AccessPolicy, DecisionAction
+from repro.errors import (
+    AccessKind,
+    ErrorKind,
+    MemoryErrorEvent,
+    SegmentationFault,
+)
+from repro.memory.address_space import AddressSpace
+from repro.memory.data_unit import DataUnit
+from repro.memory.object_table import ObjectTable
+from repro.memory.pointer import FatPointer
+
+
+class MemoryAccessor:
+    """Policy-mediated reads and writes over the simulated address space.
+
+    For checking policies every access performs an object-table lookup, the
+    same work the CRED checker does to map a pointer to its referent.  Our fat
+    pointers already know their referent, so the lookup result is only used to
+    cross-check the substrate, but its *cost* is the point: it is the per-access
+    overhead that produces the slowdown columns of the paper's Figures 2-6.
+    The Standard (unchecked) policy skips the lookup entirely, exactly like
+    uninstrumented code.
+    """
+
+    def __init__(
+        self,
+        address_space: AddressSpace,
+        object_table: ObjectTable,
+        policy: AccessPolicy,
+    ) -> None:
+        self.space = address_space
+        self.table = object_table
+        self.policy = policy
+        #: Label describing the source location of the access, set by callers
+        #: (the servers set it to function names) so error-log events can be
+        #: attributed; mirrors the paper's per-site error log.
+        self.current_site = ""
+        #: Request id stamped on error events, used by the propagation analysis.
+        self.current_request_id: Optional[int] = None
+
+    # -- site / request bookkeeping ------------------------------------------------
+
+    def set_site(self, site: str) -> None:
+        """Set the source-site label attached to subsequent error events."""
+        self.current_site = site
+
+    def set_request(self, request_id: Optional[int]) -> None:
+        """Set the request id attached to subsequent error events."""
+        self.current_request_id = request_id
+
+    # -- classification -------------------------------------------------------------
+
+    def _classify(self, ptr: FatPointer, length: int, access: AccessKind) -> MemoryErrorEvent:
+        unit = ptr.referent
+        if ptr.is_null:
+            kind = ErrorKind.NULL_DEREF
+        elif not unit.alive:
+            kind = ErrorKind.USE_AFTER_FREE
+        else:
+            kind = ErrorKind.OUT_OF_BOUNDS
+        return MemoryErrorEvent(
+            kind=kind,
+            access=access,
+            unit_name=unit.label(),
+            unit_size=unit.size,
+            offset=ptr.offset,
+            length=length,
+            site=self.current_site,
+            request_id=self.current_request_id,
+        )
+
+    # -- reads -----------------------------------------------------------------------
+
+    def read(self, ptr: FatPointer, length: int) -> bytes:
+        """Read ``length`` bytes through ``ptr`` under the active policy."""
+        if length <= 0:
+            return b""
+        policy = self.policy
+        if not policy.performs_checks:
+            return self.space.read(ptr.address, length)
+        policy.note_check()
+        # The CRED-style referent lookup; see the class docstring.
+        self.table.find(ptr.address)
+        unit = ptr.referent
+        if unit.alive and unit.contains_offset(ptr.offset, length):
+            return self.space.read(ptr.address, length)
+        return self._invalid_read(ptr, length)
+
+    def _invalid_read(self, ptr: FatPointer, length: int) -> bytes:
+        unit = ptr.referent
+        # Split off an in-bounds prefix, if any, and read it normally.
+        prefix = b""
+        oob_ptr = ptr
+        oob_len = length
+        if unit.alive and 0 <= ptr.offset < unit.size:
+            prefix_len = unit.size - ptr.offset
+            prefix = self.space.read(ptr.address, prefix_len)
+            oob_ptr = ptr + prefix_len
+            oob_len = length - prefix_len
+        event = self._classify(oob_ptr, oob_len, AccessKind.READ)
+        decision = self.policy.on_invalid_read(event, oob_len)
+        if decision.action is DecisionAction.RAISE:
+            raise decision.exception
+        if decision.action is DecisionAction.SUPPLY:
+            return prefix + decision.data
+        if decision.action is DecisionAction.REDIRECT:
+            redirected = FatPointer(unit, decision.redirect_offset)
+            return prefix + self._read_redirected(redirected, oob_len)
+        # PERFORM_RAW / DISCARD fall through to the raw access.
+        return prefix + self.space.read(oob_ptr.address, oob_len)
+
+    def _read_redirected(self, ptr: FatPointer, length: int) -> bytes:
+        """Read a redirected range, wrapping around inside the unit as needed."""
+        unit = ptr.referent
+        data = bytearray()
+        offset = ptr.offset
+        for _ in range(length):
+            data.append(self.space.read_byte(unit.base + (offset % unit.size)))
+            offset += 1
+        return bytes(data)
+
+    # -- writes ----------------------------------------------------------------------
+
+    def write(self, ptr: FatPointer, data: bytes) -> None:
+        """Write ``data`` through ``ptr`` under the active policy."""
+        if not data:
+            return
+        policy = self.policy
+        if not policy.performs_checks:
+            self.space.write(ptr.address, data)
+            return
+        policy.note_check()
+        # The CRED-style referent lookup; see the class docstring.
+        self.table.find(ptr.address)
+        unit = ptr.referent
+        if unit.alive and unit.contains_offset(ptr.offset, len(data)):
+            self.space.write(ptr.address, data)
+            return
+        self._invalid_write(ptr, data)
+
+    def _invalid_write(self, ptr: FatPointer, data: bytes) -> None:
+        unit = ptr.referent
+        oob_ptr = ptr
+        oob_data = data
+        if unit.alive and 0 <= ptr.offset < unit.size:
+            prefix_len = unit.size - ptr.offset
+            self.space.write(ptr.address, data[:prefix_len])
+            oob_ptr = ptr + prefix_len
+            oob_data = data[prefix_len:]
+        event = self._classify(oob_ptr, len(oob_data), AccessKind.WRITE)
+        decision = self.policy.on_invalid_write(event, oob_data)
+        if decision.action is DecisionAction.RAISE:
+            raise decision.exception
+        if decision.action is DecisionAction.DISCARD:
+            return
+        if decision.action is DecisionAction.REDIRECT:
+            offset = decision.redirect_offset
+            for byte in oob_data:
+                self.space.write_byte(unit.base + (offset % unit.size), byte)
+                offset += 1
+            return
+        # PERFORM_RAW: the unchecked behaviour, performed deliberately.
+        self.space.write(oob_ptr.address, oob_data)
+
+    # -- scalar helpers ----------------------------------------------------------------
+
+    def read_byte(self, ptr: FatPointer) -> int:
+        """Read one unsigned byte (fast path for the common in-bounds case)."""
+        policy = self.policy
+        if not policy.performs_checks:
+            return self.space.read_byte(ptr.address)
+        policy.note_check()
+        self.table.find(ptr.address)
+        unit = ptr.referent
+        if unit.alive and 0 <= ptr.offset < unit.size:
+            return self.space.read_byte(ptr.address)
+        return self._invalid_read(ptr, 1)[0]
+
+    def write_byte(self, ptr: FatPointer, value: int) -> None:
+        """Write one byte (fast path for the common in-bounds case)."""
+        policy = self.policy
+        if not policy.performs_checks:
+            self.space.write_byte(ptr.address, value)
+            return
+        policy.note_check()
+        self.table.find(ptr.address)
+        unit = ptr.referent
+        if unit.alive and 0 <= ptr.offset < unit.size:
+            self.space.write_byte(ptr.address, value)
+            return
+        self._invalid_write(ptr, bytes([value & 0xFF]))
+
+    def read_int(self, ptr: FatPointer, size: int = 4, signed: bool = True) -> int:
+        """Read a little-endian integer of ``size`` bytes."""
+        data = self.read(ptr, size)
+        return int.from_bytes(data, "little", signed=signed)
+
+    def write_int(self, ptr: FatPointer, value: int, size: int = 4, signed: bool = True) -> None:
+        """Write a little-endian integer of ``size`` bytes."""
+        limit = 1 << (8 * size)
+        value &= limit - 1
+        if signed and value >= limit // 2:
+            self.write(ptr, (value - limit).to_bytes(size, "little", signed=True))
+        else:
+            self.write(ptr, value.to_bytes(size, "little", signed=False))
+
+    # -- unit helpers -------------------------------------------------------------------
+
+    def read_unit(self, unit: DataUnit) -> bytes:
+        """Read an entire data unit (always in bounds)."""
+        return self.read(FatPointer(unit), unit.size)
+
+    def zero_unit(self, unit: DataUnit) -> None:
+        """Zero an entire data unit (always in bounds)."""
+        self.write(FatPointer(unit), b"\x00" * unit.size)

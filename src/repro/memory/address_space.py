@@ -1,0 +1,182 @@
+"""A flat, segmented simulated address space.
+
+The address space is the thing the Standard (unchecked) build corrupts and the
+checked builds protect.  It is deliberately simple: a handful of contiguous
+segments (globals, heap, stack), each backed by a ``bytearray``.  Raw reads and
+writes that fall outside every mapped segment raise
+:class:`~repro.errors.SegmentationFault`, which is how the Standard build of a
+server eventually dies after a large overflow runs off the end of its heap or
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SegmentationFault
+
+#: Default segment sizes.  Large enough for every server workload in the
+#: evaluation, small enough that a multi-kilobyte attack overflow runs off the
+#: end of a segment and faults, as the real servers did.
+DEFAULT_GLOBALS_SIZE = 64 * 1024
+DEFAULT_HEAP_SIZE = 4 * 1024 * 1024
+DEFAULT_STACK_SIZE = 256 * 1024
+
+GLOBALS_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+STACK_BASE = 0x7000_0000
+
+
+@dataclass
+class Segment:
+    """One contiguous mapped region of the simulated address space."""
+
+    name: str
+    base: int
+    data: bytearray
+
+    @property
+    def size(self) -> int:
+        """Number of mapped bytes in this segment."""
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + len(self.data)
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True if ``[address, address + length)`` lies entirely inside the segment."""
+        return self.base <= address and address + length <= self.end
+
+
+class AddressSpace:
+    """The simulated process address space.
+
+    Parameters are the sizes of the three standard segments.  Additional
+    segments can be mapped for tests via :meth:`map_segment`.
+    """
+
+    def __init__(
+        self,
+        globals_size: int = DEFAULT_GLOBALS_SIZE,
+        heap_size: int = DEFAULT_HEAP_SIZE,
+        stack_size: int = DEFAULT_STACK_SIZE,
+    ) -> None:
+        self._segments: Dict[str, Segment] = {}
+        self._ordered: List[Segment] = []
+        self.map_segment("globals", GLOBALS_BASE, globals_size)
+        self.map_segment("heap", HEAP_BASE, heap_size)
+        self.map_segment("stack", STACK_BASE, stack_size)
+        #: Count of raw byte reads/writes, used by the timing model as a
+        #: uniform measure of work done independent of the policy in force.
+        self.raw_reads = 0
+        self.raw_writes = 0
+        #: Most recently hit segment; the byte fast paths below probe it first
+        #: because consecutive accesses overwhelmingly hit the same segment.
+        self._last_segment: Optional[Segment] = None
+
+    # -- segment management ------------------------------------------------------
+
+    def map_segment(self, name: str, base: int, size: int) -> Segment:
+        """Map a new zero-filled segment.  Overlapping segments are rejected."""
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        for existing in self._ordered:
+            if base < existing.end and existing.base < base + size:
+                raise ValueError(
+                    f"segment {name!r} [{base:#x}, {base + size:#x}) overlaps {existing.name!r}"
+                )
+        segment = Segment(name=name, base=base, data=bytearray(size))
+        self._segments[name] = segment
+        self._ordered.append(segment)
+        self._ordered.sort(key=lambda s: s.base)
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        """Return the segment with the given name."""
+        return self._segments[name]
+
+    @property
+    def heap(self) -> Segment:
+        """The heap segment."""
+        return self._segments["heap"]
+
+    @property
+    def stack(self) -> Segment:
+        """The stack segment."""
+        return self._segments["stack"]
+
+    @property
+    def globals(self) -> Segment:
+        """The globals segment."""
+        return self._segments["globals"]
+
+    def segments(self) -> List[Segment]:
+        """Return all mapped segments ordered by base address."""
+        return list(self._ordered)
+
+    def find_segment(self, address: int, length: int = 1) -> Optional[Segment]:
+        """Return the segment containing ``[address, address+length)`` or None."""
+        for segment in self._ordered:
+            if segment.contains(address, length):
+                self._last_segment = segment
+                return segment
+        return None
+
+    def is_mapped(self, address: int, length: int = 1) -> bool:
+        """True if the whole range is mapped in a single segment."""
+        return self.find_segment(address, length) is not None
+
+    # -- raw access ---------------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes; fault if any byte is unmapped."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        segment = self.find_segment(address, max(length, 1))
+        if segment is None:
+            raise SegmentationFault(address)
+        self.raw_reads += length
+        start = address - segment.base
+        return bytes(segment.data[start : start + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write raw bytes; fault if any byte is unmapped."""
+        if not data:
+            return
+        segment = self.find_segment(address, len(data))
+        if segment is None:
+            raise SegmentationFault(address)
+        self.raw_writes += len(data)
+        start = address - segment.base
+        segment.data[start : start + len(data)] = data
+
+    def read_byte(self, address: int) -> int:
+        """Read one raw byte (fast path probing the most recent segment first)."""
+        segment = self._last_segment
+        if segment is None or not (segment.base <= address < segment.end):
+            segment = self.find_segment(address, 1)
+            if segment is None:
+                raise SegmentationFault(address)
+        self.raw_reads += 1
+        return segment.data[address - segment.base]
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one raw byte (fast path probing the most recent segment first)."""
+        segment = self._last_segment
+        if segment is None or not (segment.base <= address < segment.end):
+            segment = self.find_segment(address, 1)
+            if segment is None:
+                raise SegmentationFault(address)
+        self.raw_writes += 1
+        segment.data[address - segment.base] = value & 0xFF
+
+    def fill(self, address: int, value: int, length: int) -> None:
+        """Fill a raw range with a byte value (memset without checks)."""
+        self.write(address, bytes([value & 0xFF]) * length)
+
+    def snapshot(self, address: int, length: int) -> bytes:
+        """Alias of :meth:`read` used by tests to express intent (no checks)."""
+        return self.read(address, length)

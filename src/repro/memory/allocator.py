@@ -1,0 +1,203 @@
+"""A free-list heap allocator with in-band, smashable chunk headers.
+
+The Pine and Mutt vulnerabilities in the paper are heap buffer overruns: the
+Standard build "writes beyond the end of the buffer, corrupts its heap, and
+terminates with a segmentation violation".  To reproduce that failure mode the
+allocator keeps its metadata *inside* the heap segment, immediately before each
+user block, exactly like a classic dlmalloc-style allocator.  An unchecked
+overflow therefore smashes the next chunk's header, and the corruption is
+discovered (and converted into :class:`~repro.errors.HeapCorruption`) the next
+time the allocator walks or frees that chunk — which is how the real crash
+happens.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.errors import DoubleFree, HeapCorruption
+from repro.memory.address_space import AddressSpace
+from repro.memory.data_unit import DataUnit, UnitKind, make_unit
+from repro.memory.object_table import ObjectTable
+
+#: Chunk header layout: magic (4 bytes), user size (4 bytes), in-use flag (4 bytes),
+#: reserved (4 bytes).  16 bytes keeps user data reasonably aligned.
+HEADER_SIZE = 16
+HEADER_MAGIC = 0x5AFEC0DE
+_HEADER_STRUCT = struct.Struct("<IIII")
+
+#: Minimum user block size; avoids degenerate zero-byte chunks.
+MIN_BLOCK = 8
+
+
+class HeapAllocator:
+    """First-fit free-list allocator over the heap segment.
+
+    Parameters
+    ----------
+    address_space:
+        The simulated address space whose ``heap`` segment backs allocations.
+    object_table:
+        The checker's object table; every allocation registers a data unit and
+        every free retires it.
+    """
+
+    def __init__(self, address_space: AddressSpace, object_table: ObjectTable) -> None:
+        self.space = address_space
+        self.table = object_table
+        heap = address_space.heap
+        self._heap_base = heap.base
+        self._heap_end = heap.end
+        #: Bump pointer for fresh chunks; freed chunks go on the free list.
+        self._brk = heap.base
+        #: Free list of (address, total_chunk_size) pairs, address of the header.
+        self._free: List[tuple] = []
+        #: Map from user base address to its DataUnit for live allocations.
+        self._live: Dict[int, DataUnit] = {}
+        self.allocations = 0
+        self.frees = 0
+        self.bytes_allocated = 0
+        # Like glibc's top chunk, the wilderness carries an in-band header; an
+        # overflow off the end of the most recent allocation smashes it, and
+        # the corruption is discovered at the next allocator operation.
+        self._write_top_header()
+
+    # -- header helpers -----------------------------------------------------------
+
+    def _write_header(self, header_addr: int, user_size: int, in_use: bool) -> None:
+        packed = _HEADER_STRUCT.pack(HEADER_MAGIC, user_size, 1 if in_use else 0, 0)
+        self.space.write(header_addr, packed)
+
+    def _read_header(self, header_addr: int) -> tuple:
+        raw = self.space.read(header_addr, HEADER_SIZE)
+        magic, user_size, in_use, _reserved = _HEADER_STRUCT.unpack(raw)
+        return magic, user_size, bool(in_use)
+
+    def _check_header(self, header_addr: int, context: str) -> tuple:
+        magic, user_size, in_use = self._read_header(header_addr)
+        if magic != HEADER_MAGIC:
+            raise HeapCorruption(
+                f"heap metadata corrupted at {header_addr:#x} during {context} "
+                f"(magic {magic:#x})"
+            )
+        return user_size, in_use
+
+    def _write_top_header(self) -> None:
+        """Stamp the wilderness (top chunk) header at the current break."""
+        if self._brk + HEADER_SIZE <= self._heap_end:
+            remaining = self._heap_end - self._brk - HEADER_SIZE
+            self._write_header(self._brk, remaining, in_use=False)
+
+    def _check_top_header(self, context: str) -> None:
+        if self._brk + HEADER_SIZE <= self._heap_end:
+            self._check_header(self._brk, context=context)
+
+    # -- allocation API -----------------------------------------------------------
+
+    def malloc(self, size: int, name: str = "malloc") -> DataUnit:
+        """Allocate ``size`` user bytes and register the resulting data unit.
+
+        The returned unit's contents are *not* cleared: like real ``malloc``,
+        recycled chunks expose whatever bytes the previous occupant left
+        behind (which several of the paper's servers implicitly rely on not
+        mattering).
+        """
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        user_size = max(size, MIN_BLOCK)
+        total = HEADER_SIZE + user_size
+        header_addr = self._take_free_chunk(total)
+        if header_addr is None:
+            self._check_top_header(context="malloc")
+            header_addr = self._brk
+            if header_addr + total > self._heap_end:
+                raise MemoryError(
+                    f"simulated heap exhausted allocating {size} bytes for {name!r}"
+                )
+            self._brk += total
+            self._write_top_header()
+        self._write_header(header_addr, user_size, in_use=True)
+        user_base = header_addr + HEADER_SIZE
+        unit = make_unit(name=name, base=user_base, size=size if size > 0 else user_size,
+                         kind=UnitKind.HEAP, owner="heap")
+        self.table.register(unit)
+        self._live[user_base] = unit
+        self.allocations += 1
+        self.bytes_allocated += size
+        return unit
+
+    def calloc(self, count: int, size: int, name: str = "calloc") -> DataUnit:
+        """Allocate and zero ``count * size`` bytes."""
+        unit = self.malloc(count * size, name=name)
+        self.space.fill(unit.base, 0, unit.size)
+        return unit
+
+    def free(self, unit: DataUnit) -> None:
+        """Release an allocation, verifying that its header is intact.
+
+        Raises :class:`~repro.errors.HeapCorruption` if an earlier unchecked
+        overflow smashed the chunk header, and
+        :class:`~repro.errors.DoubleFree` on repeated frees.
+        """
+        if unit.kind is not UnitKind.HEAP:
+            raise ValueError(f"cannot free non-heap unit {unit.label()}")
+        header_addr = unit.base - HEADER_SIZE
+        user_size, in_use = self._check_header(header_addr, context="free")
+        if not in_use or unit.base not in self._live:
+            raise DoubleFree(f"double free of {unit.label()}")
+        self._write_header(header_addr, user_size, in_use=False)
+        self.table.unregister(unit)
+        del self._live[unit.base]
+        self._free.append((header_addr, HEADER_SIZE + user_size))
+        self.frees += 1
+
+    def realloc(self, unit: Optional[DataUnit], size: int, name: str = "realloc") -> DataUnit:
+        """Grow or shrink an allocation, copying the overlapping prefix."""
+        if unit is None:
+            return self.malloc(size, name=name)
+        new_unit = self.malloc(size, name=name or unit.name)
+        copy_len = min(unit.size, size)
+        if copy_len > 0:
+            data = self.space.read(unit.base, copy_len)
+            self.space.write(new_unit.base, data)
+        self.free(unit)
+        return new_unit
+
+    # -- internals ----------------------------------------------------------------
+
+    def _take_free_chunk(self, total: int) -> Optional[int]:
+        """First-fit search of the free list, verifying headers on the way.
+
+        A corrupted header on the free list is detected here, mirroring the
+        way glibc discovers corruption during subsequent malloc calls.
+        """
+        for index, (header_addr, chunk_total) in enumerate(self._free):
+            self._check_header(header_addr, context="malloc")
+            if chunk_total >= total:
+                del self._free[index]
+                return header_addr
+        return None
+
+    # -- introspection ------------------------------------------------------------
+
+    def live_allocations(self) -> List[DataUnit]:
+        """Return the currently live heap units."""
+        return list(self._live.values())
+
+    def live_bytes(self) -> int:
+        """Return the number of user bytes currently allocated."""
+        return sum(u.size for u in self._live.values())
+
+    def verify_heap(self) -> None:
+        """Walk every known chunk header and raise on corruption.
+
+        The Standard build of a server calls this periodically (between
+        requests) to model the fact that real heap corruption is usually
+        discovered some time after the overflow, not at the faulting store.
+        """
+        for user_base in list(self._live):
+            self._check_header(user_base - HEADER_SIZE, context="heap walk")
+        for header_addr, _total in self._free:
+            self._check_header(header_addr, context="heap walk")
+        self._check_top_header(context="heap walk")

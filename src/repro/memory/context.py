@@ -1,0 +1,126 @@
+"""MemoryContext: the bundle of substrate objects a simulated C program runs in.
+
+A context owns one address space, one object table, one heap allocator, one
+call stack, and one policy-mediated accessor.  The server reimplementations
+treat it as their process image plus libc: ``ctx.malloc`` / ``ctx.free`` for the
+heap, ``ctx.stack_frame`` for stack-allocated locals, and ``ctx.mem`` for loads
+and stores.  Swapping the policy is the analogue of recompiling the same source
+with a different compiler — nothing else about the program changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.core.policy import AccessPolicy
+from repro.core.policies import FailureObliviousPolicy
+from repro.memory.accessor import MemoryAccessor
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.cstring import read_c_string, write_c_string
+from repro.memory.data_unit import DataUnit
+from repro.memory.object_table import ObjectTable
+from repro.memory.pointer import FatPointer
+from repro.memory.stack import CallStack, StackFrame
+
+
+class MemoryContext:
+    """One simulated process image bound to one access policy.
+
+    Parameters
+    ----------
+    policy:
+        The build variant.  Defaults to the failure-oblivious policy so that
+        quickstart examples demonstrate the paper's contribution by default.
+    heap_size / stack_size / globals_size:
+        Segment sizes, forwarded to :class:`~repro.memory.address_space.AddressSpace`.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AccessPolicy] = None,
+        heap_size: int = 4 * 1024 * 1024,
+        stack_size: int = 256 * 1024,
+        globals_size: int = 64 * 1024,
+    ) -> None:
+        self.policy = policy if policy is not None else FailureObliviousPolicy()
+        self.space = AddressSpace(
+            globals_size=globals_size, heap_size=heap_size, stack_size=stack_size
+        )
+        self.table = ObjectTable()
+        self.heap = HeapAllocator(self.space, self.table)
+        self.stack = CallStack(self.space, self.table)
+        self.mem = MemoryAccessor(self.space, self.table, self.policy)
+
+    # -- heap conveniences ---------------------------------------------------------
+
+    def malloc(self, size: int, name: str = "malloc") -> FatPointer:
+        """Allocate ``size`` bytes and return a pointer to the new unit."""
+        return FatPointer(self.heap.malloc(size, name=name))
+
+    def calloc(self, count: int, size: int, name: str = "calloc") -> FatPointer:
+        """Allocate and zero ``count * size`` bytes."""
+        return FatPointer(self.heap.calloc(count, size, name=name))
+
+    def free(self, ptr: FatPointer) -> None:
+        """Free the allocation ``ptr`` points into (must point to its base)."""
+        self.heap.free(ptr.referent)
+
+    def realloc(self, ptr: Optional[FatPointer], size: int, name: str = "realloc") -> FatPointer:
+        """Resize an allocation, returning a pointer to the (possibly moved) block."""
+        unit = ptr.referent if ptr is not None else None
+        return FatPointer(self.heap.realloc(unit, size, name=name))
+
+    def alloc_c_string(self, text: bytes, name: str = "string") -> FatPointer:
+        """Allocate a heap buffer holding ``text`` plus a terminating NUL."""
+        ptr = self.malloc(len(text) + 1, name=name)
+        write_c_string(self.mem, ptr, text)
+        return ptr
+
+    def read_c_string(self, ptr: FatPointer) -> bytes:
+        """Read a NUL-terminated string back out of simulated memory."""
+        return read_c_string(self.mem, ptr)
+
+    # -- stack conveniences ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def stack_frame(self, function: str) -> Iterator[StackFrame]:
+        """Context manager entering and leaving a simulated stack frame.
+
+        The frame is popped even if the body raises, and popping verifies the
+        saved return address — so an unchecked overflow inside the body turns
+        into a crash or hijack at return time, as on real hardware.
+        """
+        frame = self.stack.push_frame(function)
+        try:
+            yield frame
+        finally:
+            self.stack.pop_frame()
+
+    def stack_buffer(self, name: str, size: int) -> FatPointer:
+        """Allocate a local buffer in the current frame."""
+        return FatPointer(self.stack.alloc_local(name, size))
+
+    def seal_frame(self) -> None:
+        """Finish frame layout (place the saved return address after the locals)."""
+        self.stack.seal_frame()
+
+    # -- policy plumbing --------------------------------------------------------------
+
+    @property
+    def error_log(self):
+        """The policy's memory-error log (§3's administrator log)."""
+        return self.policy.error_log
+
+    def set_site(self, site: str) -> None:
+        """Label subsequent accesses with a source site for the error log."""
+        self.mem.set_site(site)
+
+    def set_request(self, request_id: Optional[int]) -> None:
+        """Stamp subsequent error events with a request id."""
+        self.mem.set_request(request_id)
+
+    def check_cost(self) -> int:
+        """Number of bounds checks executed so far (the overhead measure)."""
+        return self.policy.stats.checks_performed

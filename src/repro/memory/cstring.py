@@ -1,0 +1,142 @@
+"""C string and memory routines over the simulated address space.
+
+The vulnerable code paths in the paper are written in terms of ``strcat``,
+``strcpy``, byte-at-a-time copies, and pointer walks.  These helpers provide
+the same operations over :class:`~repro.memory.pointer.FatPointer` values so
+the server reimplementations read like the C they model — including the
+property that every byte they touch goes through the policy-mediated accessor
+and can therefore overflow, be discarded, or be manufactured.
+
+All functions take the accessor explicitly (no hidden global state), matching
+the substrate guide's preference for explicit plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InfiniteLoopGuard
+from repro.memory.accessor import MemoryAccessor
+from repro.memory.pointer import FatPointer
+
+#: Upper bound on the number of bytes any single string scan may visit.  The
+#: paper notes that manufactured values can drive loop conditions; this guard
+#: converts a non-terminating scan into an observable HUNG outcome instead of
+#: wedging the process.
+SCAN_LIMIT = 1 << 20
+
+
+def strlen(mem: MemoryAccessor, s: FatPointer, limit: int = SCAN_LIMIT) -> int:
+    """Return the number of bytes before the first NUL, scanning through memory."""
+    length = 0
+    ptr = s
+    while True:
+        if length > limit:
+            raise InfiniteLoopGuard(f"strlen scanned {limit} bytes without finding NUL")
+        if mem.read_byte(ptr) == 0:
+            return length
+        ptr = ptr + 1
+        length += 1
+
+
+def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
+    """Copy the NUL-terminated string at ``src`` to ``dst`` (no bounds respected)."""
+    d, s = dst, src
+    copied = 0
+    while True:
+        if copied > SCAN_LIMIT:
+            raise InfiniteLoopGuard("strcpy copied too many bytes")
+        byte = mem.read_byte(s)
+        mem.write_byte(d, byte)
+        if byte == 0:
+            return dst
+        d, s = d + 1, s + 1
+        copied += 1
+
+
+def strncpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> FatPointer:
+    """Copy at most ``n`` bytes, NUL-padding like the C function."""
+    s = src
+    copied = 0
+    hit_nul = False
+    for i in range(n):
+        if hit_nul:
+            mem.write_byte(dst + i, 0)
+            continue
+        byte = mem.read_byte(s)
+        mem.write_byte(dst + i, byte)
+        if byte == 0:
+            hit_nul = True
+        s = s + 1
+        copied += 1
+    return dst
+
+
+def strcat(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
+    """Append ``src`` to the string at ``dst`` — the Midnight Commander primitive."""
+    end = dst + strlen(mem, dst)
+    strcpy(mem, end, src)
+    return dst
+
+
+def strchr(mem: MemoryAccessor, s: FatPointer, ch: int, limit: int = SCAN_LIMIT) -> Optional[FatPointer]:
+    """Return a pointer to the first occurrence of ``ch``, or None at NUL."""
+    ptr = s
+    for _ in range(limit):
+        byte = mem.read_byte(ptr)
+        if byte == (ch & 0xFF):
+            return ptr
+        if byte == 0:
+            return None
+        ptr = ptr + 1
+    raise InfiniteLoopGuard(f"strchr scanned {limit} bytes")
+
+
+def strcmp(mem: MemoryAccessor, a: FatPointer, b: FatPointer, limit: int = SCAN_LIMIT) -> int:
+    """Standard three-way string comparison."""
+    pa, pb = a, b
+    for _ in range(limit):
+        ba = mem.read_byte(pa)
+        bb = mem.read_byte(pb)
+        if ba != bb:
+            return -1 if ba < bb else 1
+        if ba == 0:
+            return 0
+        pa, pb = pa + 1, pb + 1
+    raise InfiniteLoopGuard(f"strcmp scanned {limit} bytes")
+
+
+def memcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> FatPointer:
+    """Copy ``n`` bytes (block copy; partial overflows split at the unit boundary)."""
+    data = mem.read(src, n)
+    mem.write(dst, data)
+    return dst
+
+
+def memset(mem: MemoryAccessor, dst: FatPointer, value: int, n: int) -> FatPointer:
+    """Fill ``n`` bytes with ``value``."""
+    mem.write(dst, bytes([value & 0xFF]) * n)
+    return dst
+
+
+def write_c_string(mem: MemoryAccessor, dst: FatPointer, text: bytes) -> None:
+    """Store a Python byte string plus terminating NUL through the accessor."""
+    mem.write(dst, text + b"\x00")
+
+
+def read_c_string(mem: MemoryAccessor, src: FatPointer, limit: int = SCAN_LIMIT) -> bytes:
+    """Read a NUL-terminated string back into Python bytes."""
+    out = bytearray()
+    ptr = src
+    for _ in range(limit):
+        byte = mem.read_byte(ptr)
+        if byte == 0:
+            return bytes(out)
+        out.append(byte)
+        ptr = ptr + 1
+    raise InfiniteLoopGuard(f"read_c_string scanned {limit} bytes without NUL")
+
+
+def read_fixed(mem: MemoryAccessor, src: FatPointer, n: int) -> bytes:
+    """Read exactly ``n`` bytes (no NUL handling)."""
+    return mem.read(src, n)

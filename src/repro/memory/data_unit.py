@@ -1,0 +1,97 @@
+"""Data units: the granularity at which the bounds checker reasons.
+
+Following Jones & Kelly, every struct, array, variable, and allocated memory
+block is a *data unit*.  A pointer is legal only while it stays inside the data
+unit it was derived from; crossing from one unit into another is exactly the
+class of error the paper's checks detect.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_unit_serial = itertools.count(1)
+
+
+class UnitKind(enum.Enum):
+    """Where a data unit lives, which determines what corruption it can cause."""
+
+    HEAP = "heap"
+    STACK = "stack"
+    GLOBAL = "global"
+    #: Pseudo-unit used as the referent of the null pointer.
+    NULL = "null"
+
+
+@dataclass(eq=False)
+class DataUnit:
+    """One allocated object known to the object table.
+
+    Attributes
+    ----------
+    name:
+        Human readable label, e.g. ``"utf7_buf"`` or ``"prescan.pvpbuf"``; used
+        in error-log events and reports.
+    base:
+        First address of the unit in the simulated address space.
+    size:
+        Extent in bytes.
+    kind:
+        Heap, stack, or global.
+    alive:
+        False once the unit has been freed (heap) or its frame popped (stack).
+        Accesses to dead units are use-after-free errors for checked builds.
+    owner:
+        Optional tag identifying the allocation site or stack frame.
+    """
+
+    name: str
+    base: int
+    size: int
+    kind: UnitKind
+    alive: bool = True
+    owner: str = ""
+    serial: int = field(default_factory=lambda: next(_unit_serial))
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the unit."""
+        return self.base + self.size
+
+    def contains_address(self, address: int, length: int = 1) -> bool:
+        """True if ``[address, address+length)`` is entirely inside the unit."""
+        return self.base <= address and address + length <= self.end
+
+    def contains_offset(self, offset: int, length: int = 1) -> bool:
+        """True if ``[offset, offset+length)`` is a valid in-bounds range."""
+        return 0 <= offset and offset + length <= self.size
+
+    def label(self) -> str:
+        """Return a unique label combining name and serial (for logs)."""
+        return f"{self.name}#{self.serial}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else "dead"
+        return (
+            f"<DataUnit {self.label()} {self.kind.value} base={self.base:#x} "
+            f"size={self.size} {status}>"
+        )
+
+
+#: The referent of null pointers.  Zero-sized, never alive, so every access
+#: through it is invalid under checked policies and faults raw under Standard.
+NULL_UNIT = DataUnit(name="<null>", base=0, size=0, kind=UnitKind.NULL, alive=False)
+
+
+def make_unit(
+    name: str,
+    base: int,
+    size: int,
+    kind: UnitKind,
+    owner: str = "",
+) -> DataUnit:
+    """Create a data unit (thin helper that keeps call sites short)."""
+    return DataUnit(name=name, base=base, size=size, kind=kind, owner=owner)

@@ -1,0 +1,92 @@
+"""Type sizes and simple struct layout, mirroring a 32-bit C ABI.
+
+The servers in the paper are 32-bit C programs; their buffer-size arithmetic
+(``u8len * 2 + 1`` and friends) is what goes wrong.  The constants here let the
+server reimplementations express those computations with the same units the C
+code used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+SIZEOF_CHAR = 1
+SIZEOF_SHORT = 2
+SIZEOF_INT = 4
+SIZEOF_LONG = 4
+SIZEOF_POINTER = 4
+SIZEOF_SIZE_T = 4
+
+_PRIMITIVE_SIZES: Dict[str, int] = {
+    "char": SIZEOF_CHAR,
+    "unsigned char": SIZEOF_CHAR,
+    "short": SIZEOF_SHORT,
+    "unsigned short": SIZEOF_SHORT,
+    "int": SIZEOF_INT,
+    "unsigned int": SIZEOF_INT,
+    "long": SIZEOF_LONG,
+    "unsigned long": SIZEOF_LONG,
+    "size_t": SIZEOF_SIZE_T,
+    "void*": SIZEOF_POINTER,
+    "char*": SIZEOF_POINTER,
+}
+
+
+def sizeof(type_name: str) -> int:
+    """Return the size in bytes of a primitive C type name."""
+    try:
+        return _PRIMITIVE_SIZES[type_name]
+    except KeyError:
+        raise KeyError(f"unknown primitive type {type_name!r}") from None
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Placement of one struct field."""
+
+    name: str
+    offset: int
+    size: int
+
+
+class StructLayout:
+    """Byte layout of a C struct with natural alignment.
+
+    Used by the Apache server model, whose vulnerable buffer is an array of
+    ``regmatch_t``-style offset pairs inside a stack-allocated struct.
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, int]]) -> None:
+        """``fields`` is a sequence of (field name, field size in bytes)."""
+        self.name = name
+        self.fields: List[FieldLayout] = []
+        offset = 0
+        max_align = 1
+        for field_name, field_size in fields:
+            alignment = min(field_size, 4) if field_size > 0 else 1
+            max_align = max(max_align, alignment)
+            offset = align_up(offset, alignment)
+            self.fields.append(FieldLayout(field_name, offset, field_size))
+            offset += field_size
+        self.size = align_up(offset, max_align)
+        self._by_name = {f.name: f for f in self.fields}
+
+    def offset_of(self, field_name: str) -> int:
+        """Return the byte offset of a field."""
+        return self._by_name[field_name].offset
+
+    def size_of(self, field_name: str) -> int:
+        """Return the size of a field."""
+        return self._by_name[field_name].size
+
+    def field_names(self) -> List[str]:
+        """Return the field names in declaration order."""
+        return [f.name for f in self.fields]

@@ -1,0 +1,248 @@
+"""AST node definitions for the mini-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CType:
+    """A (very) simplified C type: a base scalar plus a pointer depth."""
+
+    base: str  # "int", "char", "unsigned char", "unsigned int", "void", "size_t"
+    pointer_depth: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    @property
+    def scalar_size(self) -> int:
+        """Size in bytes of the base scalar (pointers are 4 bytes)."""
+        if self.is_pointer:
+            return 4
+        if self.base in ("char", "unsigned char"):
+            return 1
+        if self.base == "void":
+            return 1
+        return 4
+
+    def pointee(self) -> "CType":
+        """The type pointed to (one pointer level removed)."""
+        if not self.is_pointer:
+            raise ValueError(f"{self} is not a pointer type")
+        return CType(self.base, self.pointer_depth - 1)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.base + "*" * self.pointer_depth
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: bytes
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value`` where op may be empty for plain assignment."""
+
+    target: Expr
+    op: str
+    value: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x``, ``--x``, ``x++``, ``x--``."""
+
+    target: Expr
+    op: str
+    postfix: bool
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    type: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    type: CType
+
+
+@dataclass
+class Ternary(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class Comma(Expr):
+    """The comma operator: evaluate all, yield the last."""
+
+    parts: List[Expr]
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class Declaration(Stmt):
+    """A local variable declaration, possibly an array, possibly initialized."""
+
+    type: CType
+    name: str
+    array_size: Optional[Expr] = None
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class ExprStatement(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Label(Stmt):
+    name: str
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Parameter:
+    type: CType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: CType
+    parameters: List[Parameter]
+    body: Block
+
+
+@dataclass
+class GlobalVar:
+    type: CType
+    name: str
+    array_size: Optional[Expr] = None
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed source file: global variables and function definitions."""
+
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        """Look up a function definition by name."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,88 @@
+"""The paper's Figure 1 (Mutt's ``utf8_to_utf7``) as mini-C source.
+
+The transcription follows the figure line for line, with two mechanical
+adaptations forced by the mini-C subset (both noted in DESIGN.md):
+
+* ``safe_realloc((void **) &buf, p - buf)`` becomes
+  ``buf = safe_realloc(buf, p - buf)`` (the subset has no address-of), and
+* ``safe_free((void **) &buf)`` becomes ``safe_free(buf)``.
+
+Crucially, the buggy allocation — ``safe_malloc(u8len * 2 + 1)`` where a safe
+length would be ``u8len * 4 + 1`` — is preserved exactly, so the behaviour of
+the routine under the Standard, Bounds Check, and Failure Oblivious builds is
+the behaviour the paper describes in §2.
+"""
+
+FIGURE1_SOURCE = r"""
+static char *B64Chars =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+,";
+
+char *utf8_to_utf7(const char *u8, size_t u8len) {
+    char *buf;
+    char *p;
+    int ch;
+    int n;
+    int i;
+    int b = 0;
+    int k = 0;
+    int base64 = 0;
+
+    /* The following line allocates the return string.  The allocated string
+       is too small; instead of u8len*2+1, a safe length would be u8len*4+1. */
+    p = buf = safe_malloc(u8len * 2 + 1);
+
+    while (u8len) {
+        unsigned char c = *u8;
+        if (c < 0x80) ch = c, n = 0;
+        else if (c < 0xc2) goto bail;
+        else if (c < 0xe0) ch = c & 0x1f, n = 1;
+        else if (c < 0xf0) ch = c & 0x0f, n = 2;
+        else if (c < 0xf8) ch = c & 0x07, n = 3;
+        else if (c < 0xfc) ch = c & 0x03, n = 4;
+        else if (c < 0xfe) ch = c & 0x01, n = 5;
+        else goto bail;
+        u8++, u8len--;
+        if (n > u8len) goto bail;
+        for (i = 0; i < n; i++) {
+            if ((u8[i] & 0xc0) != 0x80) goto bail;
+            ch = (ch << 6) | (u8[i] & 0x3f);
+        }
+        if (n > 1 && !(ch >> (n * 5 + 1))) goto bail;
+        u8 += n, u8len -= n;
+
+        if (ch < 0x20 || ch >= 0x7f) {
+            if (!base64) {
+                *p++ = '&';
+                base64 = 1;
+                b = 0;
+                k = 10;
+            }
+            if (ch & ~0xffff) ch = 0xfffe;
+            *p++ = B64Chars[b | ch >> k];
+            k -= 6;
+            for (; k >= 0; k -= 6)
+                *p++ = B64Chars[(ch >> k) & 0x3f];
+            b = (ch << (-k)) & 0x3f;
+            k += 16;
+        } else {
+            if (base64) {
+                if (k > 10) *p++ = B64Chars[b];
+                *p++ = '-';
+                base64 = 0;
+            }
+            *p++ = ch;
+            if (ch == '&') *p++ = '-';
+        }
+    }
+    if (base64) {
+        if (k > 10) *p++ = B64Chars[b];
+        *p++ = '-';
+    }
+    *p++ = '\0';
+    buf = safe_realloc(buf, p - buf);
+    return buf;
+bail:
+    safe_free(buf);
+    return 0;
+}
+"""

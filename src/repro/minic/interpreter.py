@@ -1,0 +1,536 @@
+"""Tree-walking interpreter executing mini-C over the simulated memory substrate.
+
+Design notes
+------------
+* Scalar and pointer variables live in an interpreter-side environment;
+  arrays, string literals, and heap allocations live in the simulated address
+  space, and every element access goes through the policy-mediated accessor.
+  This keeps the interpreter small while preserving the property the paper
+  cares about: the consequences of an out-of-bounds access are decided by the
+  build variant, not by the interpreter.
+* Pointers are :class:`TypedPointer` values — a fat pointer plus the pointee
+  size — so pointer arithmetic scales correctly and dereferences know how many
+  bytes to touch.
+* ``goto`` is supported for labels declared at any enclosing block level
+  (enough for the paper's ``goto bail`` idiom); loops carry an iteration
+  budget so a failure-oblivious run whose manufactured values never satisfy a
+  loop condition surfaces as :class:`~repro.errors.InfiniteLoopGuard` instead
+  of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.policy import AccessPolicy
+from repro.errors import InfiniteLoopGuard, MiniCError
+from repro.memory.context import MemoryContext
+from repro.memory.pointer import FatPointer
+from repro.minic import ast_nodes as ast
+from repro.minic.stdlib import BUILTINS
+
+#: Iteration budget per loop construct.
+LOOP_LIMIT = 1_000_000
+
+
+class MiniCRuntimeError(MiniCError):
+    """Raised for dynamic errors in interpreted programs (not memory errors)."""
+
+
+@dataclass(frozen=True)
+class TypedPointer:
+    """A pointer value: a fat pointer plus the size of what it points to."""
+
+    pointer: FatPointer
+    elem_size: int = 1
+
+    @property
+    def is_null(self) -> bool:
+        return self.pointer.is_null
+
+    def offset_by(self, elements: int) -> "TypedPointer":
+        return TypedPointer(self.pointer + elements * self.elem_size, self.elem_size)
+
+
+NULL_POINTER = TypedPointer(FatPointer.null(), 1)
+
+Value = Union[int, TypedPointer]
+
+
+@dataclass
+class VarSlot:
+    """One environment entry: the current value and the declared type."""
+
+    value: Value
+    type: ast.CType
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _GotoSignal(Exception):
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+def _truncate(value: Value, ctype: ast.CType) -> Value:
+    """Apply C conversion rules when storing into a typed slot."""
+    if isinstance(value, TypedPointer) or ctype.is_pointer:
+        return value
+    if ctype.base == "char":
+        value &= 0xFF
+        return value - 256 if value >= 128 else value
+    if ctype.base == "unsigned char":
+        return value & 0xFF
+    if ctype.base == "unsigned int":
+        return value & 0xFFFFFFFF
+    # plain int: wrap to 32-bit two's complement
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class ProgramInstance:
+    """One program bound to one memory context (one "compiled" process image)."""
+
+    def __init__(self, unit: ast.TranslationUnit, ctx: MemoryContext) -> None:
+        self.unit = unit
+        self.ctx = ctx
+        self.globals: Dict[str, VarSlot] = {}
+        #: Bytes emitted by the ``putchar``/``puts`` builtins, for tests.
+        self.output = bytearray()
+        self._string_cache: Dict[bytes, TypedPointer] = {}
+        self._initialize_globals()
+
+    # -- setup ----------------------------------------------------------------------
+
+    def _initialize_globals(self) -> None:
+        for declaration in self.unit.globals:
+            value: Value
+            if declaration.initializer is not None:
+                value = self._eval(declaration.initializer, {})
+            elif declaration.array_size is not None:
+                size = self._eval(declaration.array_size, {})
+                elem = ast.CType(declaration.type.base, declaration.type.pointer_depth).scalar_size
+                unit = self.ctx.heap.malloc(int(size) * elem, name=f"global:{declaration.name}")
+                self.ctx.mem.zero_unit(unit)
+                value = TypedPointer(FatPointer(unit), elem)
+            else:
+                value = 0 if not declaration.type.is_pointer else NULL_POINTER
+            slot_type = declaration.type
+            if declaration.array_size is not None or isinstance(value, TypedPointer):
+                slot_type = ast.CType(declaration.type.base, max(declaration.type.pointer_depth, 1))
+            self.globals[declaration.name] = VarSlot(value=value, type=slot_type)
+
+    def alloc_string(self, data: bytes, name: str = "argument") -> TypedPointer:
+        """Allocate a NUL-terminated byte string in the instance's heap."""
+        pointer = self.ctx.alloc_c_string(data, name=name)
+        return TypedPointer(pointer, 1)
+
+    def read_string(self, value: Union[TypedPointer, FatPointer]) -> bytes:
+        """Read a NUL-terminated string result back into Python bytes."""
+        pointer = value.pointer if isinstance(value, TypedPointer) else value
+        return self.ctx.read_c_string(pointer)
+
+    # -- calls ----------------------------------------------------------------------
+
+    def call(self, name: str, *args: Union[int, bytes, TypedPointer, FatPointer]) -> Value:
+        """Call a function defined in the program.
+
+        ``bytes`` arguments are automatically materialized as NUL-terminated
+        strings in simulated memory; integers and pointers pass straight
+        through.
+        """
+        function = self.unit.function(name)
+        if len(args) != len(function.parameters):
+            raise MiniCRuntimeError(
+                f"{name} expects {len(function.parameters)} argument(s), got {len(args)}"
+            )
+        env: Dict[str, VarSlot] = {}
+        for parameter, raw in zip(function.parameters, args):
+            value: Value
+            if isinstance(raw, bytes):
+                value = self.alloc_string(raw, name=f"arg:{parameter.name}")
+            elif isinstance(raw, FatPointer):
+                value = TypedPointer(raw, parameter.type.pointee().scalar_size if parameter.type.is_pointer else 1)
+            else:
+                value = raw
+            env[parameter.name] = VarSlot(value=_truncate(value, parameter.type), type=parameter.type)
+        try:
+            self._exec_block(function.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        except _GotoSignal as signal:
+            raise MiniCRuntimeError(f"goto to unknown label {signal.label!r}") from None
+        return 0
+
+    # -- statement execution -----------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, env: Dict[str, VarSlot]) -> None:
+        self._exec_statements(block.statements, env)
+
+    def _exec_statements(self, statements: List[ast.Stmt], env: Dict[str, VarSlot]) -> None:
+        index = 0
+        while index < len(statements):
+            try:
+                self._exec(statements[index], env)
+            except _GotoSignal as signal:
+                target = self._find_label(statements, signal.label)
+                if target is None:
+                    raise
+                index = target
+                continue
+            index += 1
+
+    @staticmethod
+    def _find_label(statements: List[ast.Stmt], label: str) -> Optional[int]:
+        for position, statement in enumerate(statements):
+            if isinstance(statement, ast.Label) and statement.name == label:
+                return position
+        return None
+
+    def _exec(self, statement: ast.Stmt, env: Dict[str, VarSlot]) -> None:
+        if isinstance(statement, ast.Block):
+            self._exec_statements(statement.statements, env)
+        elif isinstance(statement, ast.Declaration):
+            self._exec_declaration(statement, env)
+        elif isinstance(statement, ast.ExprStatement):
+            self._eval(statement.expr, env)
+        elif isinstance(statement, ast.If):
+            if self._truthy(self._eval(statement.condition, env)):
+                self._exec(statement.then_branch, env)
+            elif statement.else_branch is not None:
+                self._exec(statement.else_branch, env)
+        elif isinstance(statement, ast.While):
+            iterations = 0
+            while self._truthy(self._eval(statement.condition, env)):
+                iterations += 1
+                if iterations > LOOP_LIMIT:
+                    raise InfiniteLoopGuard("while loop exceeded its iteration budget")
+                try:
+                    self._exec(statement.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._eval(statement.init, env)
+            iterations = 0
+            while statement.condition is None or self._truthy(self._eval(statement.condition, env)):
+                iterations += 1
+                if iterations > LOOP_LIMIT:
+                    raise InfiniteLoopGuard("for loop exceeded its iteration budget")
+                try:
+                    self._exec(statement.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if statement.step is not None:
+                    self._eval(statement.step, env)
+        elif isinstance(statement, ast.Return):
+            value = self._eval(statement.value, env) if statement.value is not None else 0
+            raise _ReturnSignal(value)
+        elif isinstance(statement, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(statement, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(statement, ast.Goto):
+            raise _GotoSignal(statement.label)
+        elif isinstance(statement, (ast.Label, ast.Empty)):
+            return
+        else:  # pragma: no cover - parser cannot produce other nodes
+            raise MiniCRuntimeError(f"unsupported statement {type(statement).__name__}")
+
+    def _exec_declaration(self, declaration: ast.Declaration, env: Dict[str, VarSlot]) -> None:
+        if declaration.array_size is not None:
+            length = int(self._eval(declaration.array_size, env))
+            elem = declaration.type.scalar_size
+            unit = self.ctx.stack.alloc_local(declaration.name, max(length * elem, 1)) \
+                if self.ctx.stack.depth else self.ctx.heap.malloc(max(length * elem, 1), name=declaration.name)
+            value: Value = TypedPointer(FatPointer(unit), elem)
+            env[declaration.name] = VarSlot(value=value, type=ast.CType(declaration.type.base, 1))
+            return
+        if declaration.initializer is not None:
+            value = self._eval(declaration.initializer, env)
+        else:
+            value = NULL_POINTER if declaration.type.is_pointer else 0
+        env[declaration.name] = VarSlot(value=_truncate(value, declaration.type), type=declaration.type)
+
+    # -- expression evaluation ------------------------------------------------------------
+
+    def _truthy(self, value: Value) -> bool:
+        if isinstance(value, TypedPointer):
+            return not value.is_null
+        return value != 0
+
+    def _lookup(self, name: str, env: Dict[str, VarSlot]) -> VarSlot:
+        if name in env:
+            return env[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise MiniCRuntimeError(f"undefined variable {name!r}")
+
+    def _eval(self, expr: ast.Expr, env: Dict[str, VarSlot]) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.StringLiteral):
+            return self._string_literal(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._lookup(expr.name, env).value
+        if isinstance(expr, ast.Comma):
+            result: Value = 0
+            for part in expr.parts:
+                result = self._eval(part, env)
+            return result
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr, env)
+        if isinstance(expr, ast.IncDec):
+            return self._eval_incdec(expr, env)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.Ternary):
+            if self._truthy(self._eval(expr.condition, env)):
+                return self._eval(expr.if_true, env)
+            return self._eval(expr.if_false, env)
+        if isinstance(expr, ast.Index):
+            pointer, elem = self._index_pointer(expr, env)
+            return self._load(pointer, elem)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, env)
+            if expr.type.is_pointer and isinstance(value, TypedPointer):
+                return TypedPointer(value.pointer, expr.type.pointee().scalar_size)
+            if expr.type.is_pointer and value == 0:
+                return NULL_POINTER
+            return _truncate(value, expr.type)
+        if isinstance(expr, ast.SizeOf):
+            return expr.type.scalar_size if not expr.type.is_pointer else 4
+        raise MiniCRuntimeError(f"unsupported expression {type(expr).__name__}")
+
+    def _string_literal(self, data: bytes) -> TypedPointer:
+        if data not in self._string_cache:
+            pointer = self.ctx.alloc_c_string(data, name="string-literal")
+            self._string_cache[data] = TypedPointer(pointer, 1)
+        return self._string_cache[data]
+
+    # -- lvalues and memory ------------------------------------------------------------
+
+    def _index_pointer(self, expr: ast.Index, env: Dict[str, VarSlot]) -> tuple:
+        base = self._eval(expr.base, env)
+        if not isinstance(base, TypedPointer):
+            raise MiniCRuntimeError("cannot index a non-pointer value")
+        index = self._eval(expr.index, env)
+        if isinstance(index, TypedPointer):
+            raise MiniCRuntimeError("array index must be an integer")
+        return base.offset_by(int(index)), base.elem_size
+
+    def _load(self, pointer: TypedPointer, elem_size: int) -> int:
+        if elem_size == 1:
+            return self.ctx.mem.read_byte(pointer.pointer)
+        return self.ctx.mem.read_int(pointer.pointer, size=elem_size, signed=True)
+
+    def _store(self, pointer: TypedPointer, elem_size: int, value: Value) -> None:
+        if isinstance(value, TypedPointer):
+            raise MiniCRuntimeError("storing pointers into simulated memory is not supported")
+        if elem_size == 1:
+            self.ctx.mem.write_byte(pointer.pointer, int(value) & 0xFF)
+        else:
+            self.ctx.mem.write_int(pointer.pointer, int(value), size=elem_size, signed=True)
+
+    def _assign_to(self, target: ast.Expr, env: Dict[str, VarSlot], value: Value) -> Value:
+        if isinstance(target, ast.Identifier):
+            slot = self._lookup(target.name, env)
+            slot.value = _truncate(value, slot.type)
+            return slot.value
+        if isinstance(target, ast.Unary) and target.op == "*":
+            pointer = self._eval(target.operand, env)
+            if not isinstance(pointer, TypedPointer):
+                raise MiniCRuntimeError("cannot dereference a non-pointer value")
+            self._store(pointer, pointer.elem_size, value)
+            return value
+        if isinstance(target, ast.Index):
+            pointer, elem = self._index_pointer(target, env)
+            self._store(pointer, elem, value)
+            return value
+        raise MiniCRuntimeError(f"unsupported assignment target {type(target).__name__}")
+
+    def _read_lvalue(self, target: ast.Expr, env: Dict[str, VarSlot]) -> Value:
+        if isinstance(target, ast.Identifier):
+            return self._lookup(target.name, env).value
+        if isinstance(target, ast.Unary) and target.op == "*":
+            pointer = self._eval(target.operand, env)
+            if not isinstance(pointer, TypedPointer):
+                raise MiniCRuntimeError("cannot dereference a non-pointer value")
+            return self._load(pointer, pointer.elem_size)
+        if isinstance(target, ast.Index):
+            pointer, elem = self._index_pointer(target, env)
+            return self._load(pointer, elem)
+        raise MiniCRuntimeError(f"unsupported lvalue {type(target).__name__}")
+
+    # -- operators -----------------------------------------------------------------------
+
+    def _eval_assign(self, expr: ast.Assign, env: Dict[str, VarSlot]) -> Value:
+        if expr.op == "":
+            value = self._eval(expr.value, env)
+            return self._assign_to(expr.target, env, value)
+        current = self._read_lvalue(expr.target, env)
+        operand = self._eval(expr.value, env)
+        combined = self._apply_binary(expr.op, current, operand)
+        return self._assign_to(expr.target, env, combined)
+
+    def _eval_incdec(self, expr: ast.IncDec, env: Dict[str, VarSlot]) -> Value:
+        current = self._read_lvalue(expr.target, env)
+        delta = 1 if expr.op == "++" else -1
+        if isinstance(current, TypedPointer):
+            updated: Value = current.offset_by(delta)
+        else:
+            updated = current + delta
+        self._assign_to(expr.target, env, updated)
+        return current if expr.postfix else updated
+
+    def _eval_unary(self, expr: ast.Unary, env: Dict[str, VarSlot]) -> Value:
+        if expr.op == "*":
+            pointer = self._eval(expr.operand, env)
+            if not isinstance(pointer, TypedPointer):
+                raise MiniCRuntimeError("cannot dereference a non-pointer value")
+            return self._load(pointer, pointer.elem_size)
+        if expr.op == "&":
+            raise MiniCRuntimeError(
+                "the address-of operator is not supported by the mini-C subset"
+            )
+        value = self._eval(expr.operand, env)
+        if isinstance(value, TypedPointer):
+            if expr.op == "!":
+                return 1 if value.is_null else 0
+            raise MiniCRuntimeError(f"unary {expr.op!r} is not defined for pointers")
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return 0 if value else 1
+        if expr.op == "~":
+            return ~value
+        raise MiniCRuntimeError(f"unsupported unary operator {expr.op!r}")
+
+    def _eval_binary(self, expr: ast.Binary, env: Dict[str, VarSlot]) -> Value:
+        if expr.op == "&&":
+            left = self._eval(expr.left, env)
+            if not self._truthy(left):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right, env)) else 0
+        if expr.op == "||":
+            left = self._eval(expr.left, env)
+            if self._truthy(left):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, env)) else 0
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        return self._apply_binary(expr.op, left, right)
+
+    def _apply_binary(self, op: str, left: Value, right: Value) -> Value:
+        left_is_ptr = isinstance(left, TypedPointer)
+        right_is_ptr = isinstance(right, TypedPointer)
+        if left_is_ptr or right_is_ptr:
+            return self._pointer_binary(op, left, right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise MiniCRuntimeError("integer division by zero")
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if op == "%":
+            if right == 0:
+                raise MiniCRuntimeError("integer modulo by zero")
+            return left - right * ((abs(left) // abs(right)) if (left >= 0) == (right >= 0) else -(abs(left) // abs(right)))
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise MiniCRuntimeError(f"unsupported binary operator {op!r}")
+
+    def _pointer_binary(self, op: str, left: Value, right: Value) -> Value:
+        if op == "+":
+            if isinstance(left, TypedPointer) and not isinstance(right, TypedPointer):
+                return left.offset_by(int(right))
+            if isinstance(right, TypedPointer) and not isinstance(left, TypedPointer):
+                return right.offset_by(int(left))
+        if op == "-":
+            if isinstance(left, TypedPointer) and isinstance(right, TypedPointer):
+                return (left.pointer - right.pointer) // left.elem_size
+            if isinstance(left, TypedPointer):
+                return left.offset_by(-int(right))
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            left_addr = left.pointer.address if isinstance(left, TypedPointer) else int(left)
+            right_addr = right.pointer.address if isinstance(right, TypedPointer) else int(right)
+            return self._apply_binary(op, left_addr, right_addr)
+        raise MiniCRuntimeError(f"unsupported pointer operation {op!r}")
+
+    # -- calls ----------------------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, env: Dict[str, VarSlot]) -> Value:
+        args = [self._eval(argument, env) for argument in expr.args]
+        if expr.name in BUILTINS:
+            return BUILTINS[expr.name](self, args)
+        try:
+            function = self.unit.function(expr.name)
+        except KeyError:
+            raise MiniCRuntimeError(f"call to undefined function {expr.name!r}") from None
+        return self.call(function.name, *args)
+
+
+class Program:
+    """A parsed program that can be instantiated against any build variant."""
+
+    def __init__(self, unit: ast.TranslationUnit, source: str = "") -> None:
+        self.unit = unit
+        self.source = source
+
+    def instantiate(
+        self,
+        policy: Optional[AccessPolicy] = None,
+        ctx: Optional[MemoryContext] = None,
+    ) -> ProgramInstance:
+        """Bind the program to a policy (the "choose a compiler" step)."""
+        context = ctx if ctx is not None else MemoryContext(policy)
+        return ProgramInstance(self.unit, context)
+
+    def function_names(self) -> List[str]:
+        """Names of the functions defined by the program."""
+        return [function.name for function in self.unit.functions]

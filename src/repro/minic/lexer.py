@@ -1,0 +1,229 @@
+"""Tokenizer for the mini-C subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MiniCError
+
+
+class LexError(MiniCError):
+    """Raised on malformed input text."""
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "int",
+    "char",
+    "unsigned",
+    "void",
+    "size_t",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "goto",
+    "sizeof",
+    "static",
+    "const",
+    "struct",
+    "NULL",
+}
+
+#: Multi-character punctuation, longest first so maximal munch works.
+PUNCTUATION = [
+    "<<=", ">>=", "...",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+    "a": 7,
+    "b": 8,
+    "f": 12,
+    "v": 11,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position for error messages."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        """True if this token is the given punctuation."""
+        return self.type is TokenType.PUNCT and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        """True if this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == text
+
+
+class _Scanner:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.position : self.position + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.source)
+
+    def error(self, message: str) -> LexError:
+        return LexError(f"line {self.line}, column {self.column}: {message}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert source text into a token list ending with an EOF token."""
+    scanner = _Scanner(source)
+    tokens: List[Token] = []
+    while not scanner.at_end():
+        ch = scanner.peek()
+        if ch in " \t\r\n":
+            scanner.advance()
+            continue
+        if ch == "/" and scanner.peek(1) == "/":
+            while not scanner.at_end() and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        if ch == "/" and scanner.peek(1) == "*":
+            scanner.advance(2)
+            while not scanner.at_end() and not (scanner.peek() == "*" and scanner.peek(1) == "/"):
+                scanner.advance()
+            if scanner.at_end():
+                raise scanner.error("unterminated block comment")
+            scanner.advance(2)
+            continue
+        line, column = scanner.line, scanner.column
+        if ch.isalpha() or ch == "_":
+            text = ""
+            while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
+                text += scanner.advance()
+            token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, text, line, column))
+            continue
+        if ch.isdigit():
+            tokens.append(_scan_number(scanner, line, column))
+            continue
+        if ch == "'":
+            tokens.append(_scan_char(scanner, line, column))
+            continue
+        if ch == '"':
+            tokens.append(_scan_string(scanner, line, column))
+            continue
+        punct = _scan_punct(scanner)
+        if punct is None:
+            raise scanner.error(f"unexpected character {ch!r}")
+        tokens.append(Token(TokenType.PUNCT, punct, line, column))
+    tokens.append(Token(TokenType.EOF, None, scanner.line, scanner.column))
+    return tokens
+
+
+def _scan_number(scanner: _Scanner, line: int, column: int) -> Token:
+    text = ""
+    if scanner.peek() == "0" and scanner.peek(1) in ("x", "X"):
+        text += scanner.advance(2)
+        while not scanner.at_end() and scanner.peek() in "0123456789abcdefABCDEF":
+            text += scanner.advance()
+        value = int(text, 16)
+    else:
+        while not scanner.at_end() and scanner.peek().isdigit():
+            text += scanner.advance()
+        value = int(text)
+    # Swallow integer suffixes (u, l, ul, ...) — the subset treats them all as int.
+    while not scanner.at_end() and scanner.peek() in "uUlL":
+        scanner.advance()
+    return Token(TokenType.NUMBER, value, line, column)
+
+
+def _scan_escape(scanner: _Scanner) -> int:
+    ch = scanner.advance()
+    if ch != "\\":
+        return ord(ch)
+    escape = scanner.advance()
+    if escape == "x":
+        digits = ""
+        while not scanner.at_end() and scanner.peek() in "0123456789abcdefABCDEF":
+            digits += scanner.advance()
+        if not digits:
+            raise scanner.error("empty hex escape")
+        return int(digits, 16) & 0xFF
+    if escape in _ESCAPES:
+        return _ESCAPES[escape]
+    raise scanner.error(f"unknown escape sequence \\{escape}")
+
+
+def _scan_char(scanner: _Scanner, line: int, column: int) -> Token:
+    scanner.advance()  # opening quote
+    if scanner.at_end():
+        raise scanner.error("unterminated character literal")
+    value = _scan_escape(scanner)
+    if scanner.peek() != "'":
+        raise scanner.error("character literal too long")
+    scanner.advance()
+    return Token(TokenType.CHAR, value, line, column)
+
+
+def _scan_string(scanner: _Scanner, line: int, column: int) -> Token:
+    scanner.advance()  # opening quote
+    data = bytearray()
+    while True:
+        if scanner.at_end():
+            raise scanner.error("unterminated string literal")
+        if scanner.peek() == '"':
+            scanner.advance()
+            break
+        data.append(_scan_escape(scanner))
+    return Token(TokenType.STRING, bytes(data), line, column)
+
+
+def _scan_punct(scanner: _Scanner) -> str:
+    for punct in PUNCTUATION:
+        if scanner.source.startswith(punct, scanner.position):
+            scanner.advance(len(punct))
+            return punct
+    return None

@@ -1,0 +1,416 @@
+"""Recursive-descent parser for the mini-C subset.
+
+The grammar follows C's expression precedence; the statement forms are the
+ones the paper's example code and the test programs need (declarations,
+expression statements, ``if``/``else``, ``while``, ``for``, ``return``,
+``break``/``continue``, ``goto``/labels, blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import MiniCError
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import Token, TokenType, tokenize
+
+
+class ParseError(MiniCError):
+    """Raised when the source does not conform to the supported subset."""
+
+
+_TYPE_KEYWORDS = {"int", "char", "unsigned", "void", "size_t", "const", "static", "struct"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+#: Binary operator precedence levels, lowest binding first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Token-stream parser producing a :class:`~repro.minic.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def check_punct(self, text: str) -> bool:
+        return self.peek().is_punct(text)
+
+    def accept_punct(self, text: str) -> bool:
+        if self.check_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def accept_keyword(self, text: str) -> bool:
+        if self.peek().is_keyword(text):
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        shown = token.value if token.type is not TokenType.EOF else "<eof>"
+        return ParseError(f"line {token.line}, column {token.column}: {message} (got {shown!r})")
+
+    # -- types ---------------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        return token.type is TokenType.KEYWORD and token.value in _TYPE_KEYWORDS
+
+    def parse_type(self, consume_pointers: bool = True) -> ast.CType:
+        """Parse a type name: qualifiers, base scalar, and (optionally) ``*`` suffixes.
+
+        Local declarations pass ``consume_pointers=False`` because in C the
+        ``*`` belongs to each declarator (``char *p, c;`` declares one pointer
+        and one plain char).
+        """
+        while self.accept_keyword("static") or self.accept_keyword("const"):
+            pass
+        unsigned = False
+        if self.accept_keyword("unsigned"):
+            unsigned = True
+        base = "int"
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and token.value in ("int", "char", "void", "size_t"):
+            self.advance()
+            base = "int" if token.value == "size_t" else token.value
+        elif not unsigned:
+            raise self.error("expected a type name")
+        while self.accept_keyword("const"):
+            pass
+        if unsigned:
+            base = f"unsigned {base}" if base in ("char", "int") else base
+        pointer_depth = 0
+        if consume_pointers:
+            while self.accept_punct("*"):
+                pointer_depth += 1
+                while self.accept_keyword("const"):
+                    pass
+        return ast.CType(base=base, pointer_depth=pointer_depth)
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.peek().type is not TokenType.EOF:
+            declared_type = self.parse_type()
+            name_token = self.peek()
+            if name_token.type is not TokenType.IDENT:
+                raise self.error("expected an identifier")
+            self.advance()
+            if self.check_punct("("):
+                unit.functions.append(self._parse_function(declared_type, name_token.value))
+            else:
+                unit.globals.append(self._parse_global(declared_type, name_token.value))
+        return unit
+
+    def _parse_function(self, return_type: ast.CType, name: str) -> ast.FunctionDef:
+        self.expect_punct("(")
+        parameters: List[ast.Parameter] = []
+        if not self.check_punct(")"):
+            while True:
+                if self.peek().is_keyword("void") and self.peek(1).is_punct(")"):
+                    self.advance()
+                    break
+                param_type = self.parse_type()
+                param_name = self.advance()
+                if param_name.type is not TokenType.IDENT:
+                    raise self.error("expected a parameter name")
+                # Array-style parameters decay to pointers.
+                if self.accept_punct("["):
+                    self.expect_punct("]")
+                    param_type = ast.CType(param_type.base, param_type.pointer_depth + 1)
+                parameters.append(ast.Parameter(type=param_type, name=param_name.value))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.FunctionDef(name=name, return_type=return_type, parameters=parameters, body=body)
+
+    def _parse_global(self, var_type: ast.CType, name: str) -> ast.GlobalVar:
+        array_size: Optional[ast.Expr] = None
+        initializer: Optional[ast.Expr] = None
+        if self.accept_punct("["):
+            if not self.check_punct("]"):
+                array_size = self.parse_assignment()
+            self.expect_punct("]")
+        if self.accept_punct("="):
+            initializer = self.parse_assignment()
+        self.expect_punct(";")
+        return ast.GlobalVar(type=var_type, name=name, array_size=array_size, initializer=initializer)
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        self.expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self.check_punct("}"):
+            if self.peek().type is TokenType.EOF:
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect_punct("}")
+        return ast.Block(statements=statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_punct(";"):
+            self.advance()
+            return ast.Empty()
+        if token.type is TokenType.KEYWORD:
+            keyword = token.value
+            if keyword in _TYPE_KEYWORDS:
+                return self._parse_declaration()
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                self.advance()
+                value = None if self.check_punct(";") else self.parse_expression()
+                self.expect_punct(";")
+                return ast.Return(value=value)
+            if keyword == "break":
+                self.advance()
+                self.expect_punct(";")
+                return ast.Break()
+            if keyword == "continue":
+                self.advance()
+                self.expect_punct(";")
+                return ast.Continue()
+            if keyword == "goto":
+                self.advance()
+                label = self.advance()
+                if label.type is not TokenType.IDENT:
+                    raise self.error("expected a label name after goto")
+                self.expect_punct(";")
+                return ast.Goto(label=label.value)
+        if token.type is TokenType.IDENT and self.peek(1).is_punct(":"):
+            self.advance()
+            self.advance()
+            return ast.Label(name=token.value)
+        expr = self.parse_expression()
+        self.expect_punct(";")
+        return ast.ExprStatement(expr=expr)
+
+    def _parse_declaration(self) -> ast.Stmt:
+        declared_type = self.parse_type(consume_pointers=False)
+        declarations: List[ast.Stmt] = []
+        while True:
+            # Each declarator may add its own pointer depth: ``char *buf, *p;``
+            extra_depth = 0
+            while self.accept_punct("*"):
+                extra_depth += 1
+            name = self.advance()
+            if name.type is not TokenType.IDENT:
+                raise self.error("expected a variable name")
+            var_type = ast.CType(declared_type.base, declared_type.pointer_depth + extra_depth)
+            array_size: Optional[ast.Expr] = None
+            initializer: Optional[ast.Expr] = None
+            if self.accept_punct("["):
+                array_size = self.parse_assignment()
+                self.expect_punct("]")
+            if self.accept_punct("="):
+                initializer = self.parse_assignment()
+            declarations.append(
+                ast.Declaration(
+                    type=var_type, name=name.value, array_size=array_size, initializer=initializer
+                )
+            )
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(statements=declarations)
+
+    def _parse_if(self) -> ast.Stmt:
+        self.advance()
+        self.expect_punct("(")
+        condition = self.parse_expression()
+        self.expect_punct(")")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self.accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return ast.If(condition=condition, then_branch=then_branch, else_branch=else_branch)
+
+    def _parse_while(self) -> ast.Stmt:
+        self.advance()
+        self.expect_punct("(")
+        condition = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.While(condition=condition, body=body)
+
+    def _parse_for(self) -> ast.Stmt:
+        self.advance()
+        self.expect_punct("(")
+        init = None if self.check_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        condition = None if self.check_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        step = None if self.check_punct(")") else self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(init=init, condition=condition, step=step, body=body)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        """Full expression including the comma operator."""
+        first = self.parse_assignment()
+        if not self.check_punct(","):
+            return first
+        parts = [first]
+        while self.accept_punct(","):
+            parts.append(self.parse_assignment())
+        return ast.Comma(parts=parts)
+
+    def parse_assignment(self) -> ast.Expr:
+        target = self.parse_ternary()
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            op = token.value[:-1] if token.value != "=" else ""
+            return ast.Assign(target=target, op=op, value=value)
+        return target
+
+    def parse_ternary(self) -> ast.Expr:
+        condition = self.parse_binary(0)
+        if self.accept_punct("?"):
+            if_true = self.parse_assignment()
+            self.expect_punct(":")
+            if_false = self.parse_assignment()
+            return ast.Ternary(condition=condition, if_true=if_true, if_false=if_false)
+        return condition
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        while True:
+            token = self.peek()
+            if token.type is TokenType.PUNCT and token.value in _BINARY_LEVELS[level]:
+                self.advance()
+                right = self.parse_binary(level + 1)
+                left = ast.Binary(op=token.value, left=left, right=right)
+            else:
+                return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.is_punct("++") or token.is_punct("--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.IncDec(target=operand, op=token.value, postfix=False)
+        if token.type is TokenType.PUNCT and token.value in ("-", "!", "~", "*", "&", "+"):
+            self.advance()
+            operand = self.parse_unary()
+            if token.value == "+":
+                return operand
+            return ast.Unary(op=token.value, operand=operand)
+        if token.is_keyword("sizeof"):
+            self.advance()
+            self.expect_punct("(")
+            size_type = self.parse_type()
+            self.expect_punct(")")
+            return ast.SizeOf(type=size_type)
+        if token.is_punct("(") and self._looks_like_cast():
+            self.advance()
+            cast_type = self.parse_type()
+            self.expect_punct(")")
+            operand = self.parse_unary()
+            return ast.Cast(type=cast_type, operand=operand)
+        return self.parse_postfix()
+
+    def _looks_like_cast(self) -> bool:
+        next_token = self.peek(1)
+        return next_token.type is TokenType.KEYWORD and next_token.value in _TYPE_KEYWORDS
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept_punct("["):
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(base=expr, index=index)
+            elif self.check_punct("++") or self.check_punct("--"):
+                op = self.advance().value
+                expr = ast.IncDec(target=expr, op=op, postfix=True)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER or token.type is TokenType.CHAR:
+            self.advance()
+            return ast.IntLiteral(value=int(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.StringLiteral(value=token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.IntLiteral(value=0)
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if self.check_punct("("):
+                return self._parse_call(token.value)
+            return ast.Identifier(name=token.value)
+        if self.accept_punct("("):
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise self.error("expected an expression")
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        self.expect_punct("(")
+        args: List[ast.Expr] = []
+        if not self.check_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return ast.Call(name=name, args=args)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Tokenize and parse source text into a translation unit."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,145 @@
+"""Built-in library functions available to mini-C programs.
+
+These are the handful of libc-style routines the paper's example code uses
+(Mutt's ``safe_malloc`` family) plus the common string/memory functions the
+test programs exercise.  Every one of them operates on simulated memory
+through the instance's accessor, so their behaviour — overflow, termination,
+or oblivious continuation — is governed by the bound policy exactly as it is
+for code written directly against :mod:`repro.memory`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.memory import cstring
+from repro.memory.pointer import FatPointer
+
+
+def _as_pointer(instance, value, function_name: str):
+    from repro.minic.interpreter import MiniCRuntimeError, TypedPointer, NULL_POINTER
+
+    if isinstance(value, TypedPointer):
+        return value
+    if value == 0:
+        return NULL_POINTER
+    raise MiniCRuntimeError(f"{function_name} expects a pointer argument")
+
+
+def _builtin_malloc(instance, args: List) -> object:
+    from repro.minic.interpreter import TypedPointer
+
+    size = int(args[0])
+    pointer = instance.ctx.malloc(size, name="minic_malloc")
+    return TypedPointer(pointer, 1)
+
+
+def _builtin_calloc(instance, args: List) -> object:
+    from repro.minic.interpreter import TypedPointer
+
+    count, size = int(args[0]), int(args[1])
+    pointer = instance.ctx.calloc(count, size, name="minic_calloc")
+    return TypedPointer(pointer, 1)
+
+
+def _builtin_free(instance, args: List) -> int:
+    pointer = _as_pointer(instance, args[0], "free")
+    if not pointer.is_null:
+        instance.ctx.free(pointer.pointer)
+    return 0
+
+
+def _builtin_realloc(instance, args: List) -> object:
+    from repro.minic.interpreter import TypedPointer
+
+    pointer = _as_pointer(instance, args[0], "realloc")
+    size = int(args[1])
+    base = None if pointer.is_null else pointer.pointer
+    new_pointer = instance.ctx.realloc(base, size, name="minic_realloc")
+    return TypedPointer(new_pointer, pointer.elem_size if not pointer.is_null else 1)
+
+
+def _builtin_strlen(instance, args: List) -> int:
+    pointer = _as_pointer(instance, args[0], "strlen")
+    return cstring.strlen(instance.ctx.mem, pointer.pointer)
+
+
+def _builtin_strcpy(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "strcpy")
+    src = _as_pointer(instance, args[1], "strcpy")
+    cstring.strcpy(instance.ctx.mem, dst.pointer, src.pointer)
+    return dst
+
+
+def _builtin_strncpy(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "strncpy")
+    src = _as_pointer(instance, args[1], "strncpy")
+    cstring.strncpy(instance.ctx.mem, dst.pointer, src.pointer, int(args[2]))
+    return dst
+
+
+def _builtin_strcat(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "strcat")
+    src = _as_pointer(instance, args[1], "strcat")
+    cstring.strcat(instance.ctx.mem, dst.pointer, src.pointer)
+    return dst
+
+
+def _builtin_strcmp(instance, args: List) -> int:
+    left = _as_pointer(instance, args[0], "strcmp")
+    right = _as_pointer(instance, args[1], "strcmp")
+    return cstring.strcmp(instance.ctx.mem, left.pointer, right.pointer)
+
+
+def _builtin_memset(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "memset")
+    cstring.memset(instance.ctx.mem, dst.pointer, int(args[1]), int(args[2]))
+    return dst
+
+
+def _builtin_memcpy(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "memcpy")
+    src = _as_pointer(instance, args[1], "memcpy")
+    cstring.memcpy(instance.ctx.mem, dst.pointer, src.pointer, int(args[2]))
+    return dst
+
+
+def _builtin_putchar(instance, args: List) -> int:
+    instance.output.append(int(args[0]) & 0xFF)
+    return int(args[0])
+
+
+def _builtin_puts(instance, args: List) -> int:
+    pointer = _as_pointer(instance, args[0], "puts")
+    instance.output.extend(instance.read_string(pointer) + b"\n")
+    return 0
+
+
+def _builtin_abort(instance, args: List) -> int:
+    from repro.minic.interpreter import MiniCRuntimeError
+
+    raise MiniCRuntimeError("program called abort()")
+
+
+#: Mapping of callable name to implementation.  The ``safe_`` aliases mirror
+#: the wrappers Mutt uses in the paper's Figure 1.
+BUILTINS: Dict[str, Callable] = {
+    "malloc": _builtin_malloc,
+    "safe_malloc": _builtin_malloc,
+    "calloc": _builtin_calloc,
+    "safe_calloc": _builtin_calloc,
+    "free": _builtin_free,
+    "safe_free": _builtin_free,
+    "realloc": _builtin_realloc,
+    "safe_realloc": _builtin_realloc,
+    "strlen": _builtin_strlen,
+    "strcpy": _builtin_strcpy,
+    "strncpy": _builtin_strncpy,
+    "strcat": _builtin_strcat,
+    "strcmp": _builtin_strcmp,
+    "memset": _builtin_memset,
+    "memcpy": _builtin_memcpy,
+    "putchar": _builtin_putchar,
+    "puts": _builtin_puts,
+    "abort": _builtin_abort,
+}

@@ -1,0 +1,53 @@
+"""Reimplementations of the five servers evaluated in the paper.
+
+Each module reproduces the *vulnerable code path* documented in Section 4 of
+the paper, written against the simulated memory substrate so the documented
+memory error actually happens, embedded in a request-processing server:
+
+* :mod:`repro.servers.pine` — Pine 4.44 From-field quoting heap overflow (§4.2).
+* :mod:`repro.servers.apache` — Apache 2.0.47 mod_rewrite capture-offset stack
+  overflow (§4.3), plus the pre-fork child process pool.
+* :mod:`repro.servers.sendmail` — Sendmail 8.11.6 prescan address-parsing stack
+  overflow (§4.4), plus the benign wake-up memory error.
+* :mod:`repro.servers.midnight_commander` — Midnight Commander 4.5.55 tgz
+  symlink ``strcat`` overflow of an uninitialized stack buffer (§4.5), plus the
+  blank-configuration-line error and the ``/``-search loop from §3.
+* :mod:`repro.servers.mutt` — Mutt 1.4 ``utf8_to_utf7`` heap overflow (§4.6,
+  Figure 1).
+
+All servers share the :class:`~repro.servers.base.Server` lifecycle: they are
+constructed with a policy factory (the "compiler choice"), booted with
+:meth:`~repro.servers.base.Server.start`, and fed
+:class:`~repro.servers.base.Request` objects, producing
+:class:`~repro.errors.RequestResult` outcomes the harness aggregates.
+"""
+
+from repro.servers.base import Request, Response, Server, ServerError
+from repro.servers.pine import PineServer
+from repro.servers.apache import ApacheServer, ChildProcessPool
+from repro.servers.sendmail import SendmailServer
+from repro.servers.midnight_commander import MidnightCommanderServer
+from repro.servers.mutt import MuttServer
+
+#: Registry used by the harness to iterate over every evaluated server.
+SERVER_CLASSES = {
+    "pine": PineServer,
+    "apache": ApacheServer,
+    "sendmail": SendmailServer,
+    "midnight-commander": MidnightCommanderServer,
+    "mutt": MuttServer,
+}
+
+__all__ = [
+    "Request",
+    "Response",
+    "Server",
+    "ServerError",
+    "PineServer",
+    "ApacheServer",
+    "ChildProcessPool",
+    "SendmailServer",
+    "MidnightCommanderServer",
+    "MuttServer",
+    "SERVER_CLASSES",
+]

@@ -1,0 +1,265 @@
+"""Server lifecycle shared by every reimplemented server.
+
+The paper evaluates each server by feeding it a workload of requests and
+observing whether it crashes, terminates, is exploited, or keeps serving its
+users.  This module provides that skeleton:
+
+* :class:`Request` / :class:`Response` — the interaction units.  The paper's
+  servers all follow the same simple interaction sequence ("read a request,
+  process the request without further interaction, then return the response",
+  §1.2), which is what makes their control-flow error propagation distance
+  short.
+* :class:`Server` — the lifecycle: construct with a *policy factory* (choosing
+  a policy is the analogue of choosing a compiler), :meth:`Server.start` runs
+  the initialization that several servers crash in, :meth:`Server.process`
+  handles one request and classifies the outcome, :meth:`Server.restart`
+  models killing and relaunching the process.
+* :class:`ServerError` — an *anticipated* error: the server's own
+  error-handling logic rejected the input.  The paper's central observation is
+  that failure-oblivious execution often converts attacks into exactly these.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.policy import AccessPolicy
+from repro.errors import (
+    BoundsCheckViolation,
+    ControlFlowHijack,
+    DoubleFree,
+    HeapCorruption,
+    InfiniteLoopGuard,
+    RequestOutcome,
+    RequestResult,
+    SegmentationFault,
+    UseAfterFree,
+)
+from repro.memory.context import MemoryContext
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """One unit of work submitted to a server.
+
+    ``kind`` selects the operation (server specific, e.g. ``"read"`` or
+    ``"rewrite"``); ``payload`` carries its arguments; ``is_attack`` marks
+    requests built by the attack generators so reports can separate attack and
+    legitimate traffic.
+    """
+
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+    is_attack: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def describe(self) -> str:
+        """Short label used in reports."""
+        tag = " [attack]" if self.is_attack else ""
+        return f"{self.kind}#{self.request_id}{tag}"
+
+
+@dataclass
+class Response:
+    """The server's answer to one request."""
+
+    status: str
+    body: bytes = b""
+    detail: str = ""
+
+    @classmethod
+    def ok(cls, body: bytes = b"", detail: str = "") -> "Response":
+        """A successful response."""
+        return cls(status="ok", body=body, detail=detail)
+
+    @classmethod
+    def error(cls, detail: str) -> "Response":
+        """An anticipated error response produced by the server's own logic."""
+        return cls(status="error", detail=detail)
+
+    @property
+    def is_ok(self) -> bool:
+        """True for successful responses."""
+        return self.status == "ok"
+
+
+class ServerError(Exception):
+    """An anticipated error case handled by the server's own error logic.
+
+    Raising this from a handler is equivalent to the server rejecting the
+    request with an error message; the loop converts it into an error
+    :class:`Response` and keeps the server alive.
+    """
+
+
+class Server(ABC):
+    """Base class for the five reimplemented servers.
+
+    Parameters
+    ----------
+    policy_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.core.policy.AccessPolicy`.  A factory (rather than an
+        instance) is required because restarting the server must produce a
+        clean process image, including fresh policy state.
+    config:
+        Server specific configuration (mailbox contents, rewrite rules,
+        configuration file text, ...).  Defaults are chosen so that every
+        server boots cleanly; the workload generators override entries to
+        plant the documented error triggers.
+    heap_size / stack_size:
+        Simulated segment sizes, forwarded to the memory context.
+    """
+
+    #: Human readable server name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        policy_factory: Callable[[], AccessPolicy],
+        config: Optional[Dict[str, object]] = None,
+        heap_size: int = 4 * 1024 * 1024,
+        stack_size: int = 256 * 1024,
+    ) -> None:
+        self.policy_factory = policy_factory
+        self.config: Dict[str, object] = dict(config or {})
+        self._heap_size = heap_size
+        self._stack_size = stack_size
+        self.policy: AccessPolicy = policy_factory()
+        self.ctx = MemoryContext(
+            self.policy, heap_size=heap_size, stack_size=stack_size
+        )
+        self.alive = True
+        self.started = False
+        self.requests_processed = 0
+        self.restarts = 0
+        self.history: List[RequestResult] = []
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    @abstractmethod
+    def startup(self) -> None:
+        """Run process initialization (load mailbox / config / rules).
+
+        Several of the paper's servers commit their memory error here, which
+        is why the Bounds Check builds of Pine, Mutt, and Midnight Commander
+        die before the user interface even appears.
+        """
+
+    @abstractmethod
+    def handle(self, request: Request) -> Response:
+        """Process one request.  May raise :class:`ServerError` for anticipated errors."""
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> RequestResult:
+        """Boot the server, classifying any fault hit during initialization."""
+        result = self._execute(Request(kind="__startup__"), lambda _req: self._run_startup())
+        self.started = not result.fatal
+        return result
+
+    def _run_startup(self) -> Response:
+        self.startup()
+        return Response.ok(detail="started")
+
+    def process(self, request: Request) -> RequestResult:
+        """Handle one request, returning the classified outcome."""
+        if not self.alive:
+            result = RequestResult(
+                outcome=RequestOutcome.CRASHED,
+                response=None,
+                error=RuntimeError(f"{self.name} is down"),
+            )
+            self.history.append(result)
+            return result
+        result = self._execute(request, self.handle)
+        self.requests_processed += 1
+        self.history.append(result)
+        return result
+
+    def restart(self) -> RequestResult:
+        """Re-create the process image and boot again (the monitor/reboot model).
+
+        Used by Apache's child pool and by the availability analysis to model
+        the "detect the crash and restart" alternative the paper discusses.
+        """
+        self.restarts += 1
+        self.policy = self.policy_factory()
+        self.ctx = MemoryContext(
+            self.policy, heap_size=self._heap_size, stack_size=self._stack_size
+        )
+        self.alive = True
+        self.started = False
+        return self.start()
+
+    # -- execution / classification -------------------------------------------------
+
+    def _execute(
+        self,
+        request: Request,
+        handler: Callable[[Request], Response],
+    ) -> RequestResult:
+        ctx = self.ctx
+        ctx.set_request(request.request_id)
+        errors_before = ctx.error_log.total_recorded
+        start_time = time.perf_counter()
+        outcome: RequestOutcome
+        response: Optional[Response] = None
+        error: Optional[BaseException] = None
+        try:
+            response = handler(request)
+            # Real heap corruption is usually discovered after the faulting
+            # store, when the allocator next touches its metadata; model that
+            # by walking the heap between requests.
+            ctx.heap.verify_heap()
+            outcome = (
+                RequestOutcome.SERVED
+                if response.is_ok
+                else RequestOutcome.REJECTED_BY_ERROR_HANDLING
+            )
+        except ServerError as exc:
+            response = Response.error(str(exc))
+            outcome = RequestOutcome.REJECTED_BY_ERROR_HANDLING
+        except (BoundsCheckViolation, UseAfterFree) as exc:
+            error = exc
+            outcome = RequestOutcome.TERMINATED_BY_CHECK
+        except ControlFlowHijack as exc:
+            error = exc
+            outcome = RequestOutcome.EXPLOITED
+        except (SegmentationFault, HeapCorruption, DoubleFree) as exc:
+            error = exc
+            outcome = RequestOutcome.CRASHED
+        except InfiniteLoopGuard as exc:
+            error = exc
+            outcome = RequestOutcome.HUNG
+        finally:
+            elapsed = time.perf_counter() - start_time
+            ctx.set_request(None)
+        if outcome in (RequestOutcome.CRASHED, RequestOutcome.TERMINATED_BY_CHECK,
+                       RequestOutcome.EXPLOITED, RequestOutcome.HUNG):
+            self.alive = False
+        new_events = ctx.error_log.events()[-(ctx.error_log.total_recorded - errors_before):] \
+            if ctx.error_log.total_recorded > errors_before else []
+        return RequestResult(
+            outcome=outcome,
+            response=response,
+            error=error,
+            memory_errors=list(new_events),
+            elapsed_seconds=elapsed,
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def memory_error_count(self) -> int:
+        """Total memory errors attempted over the server's lifetime."""
+        return self.ctx.error_log.total_recorded
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return f"{self.name} [{self.policy.name}]"

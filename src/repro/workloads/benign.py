@@ -1,0 +1,226 @@
+"""Benign (legitimate) request workloads mirroring the paper's performance figures.
+
+Each generator produces the request list for one row of the corresponding
+figure:
+
+* Figure 2 (Pine): Read, Compose, Move.
+* Figure 3 (Apache): Small (the 5 KByte project home page), Large (an
+  830 KByte file).
+* Figure 4 (Sendmail): Receive Small (4-byte body), Receive Large (4 KByte
+  body), Send Small, Send Large.
+* Figure 5 (Midnight Commander): Copy (a directory tree), Move, MkDir, Delete.
+* Figure 6 (Mutt): Read, Move.
+
+All generators are deterministic; any randomness is driven by an explicit
+``random.Random`` seed so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.servers.base import Request
+
+# ---------------------------------------------------------------------------
+# Pine (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def pine_benchmark_mailbox(message_count: int = 64) -> List[Dict[str, bytes]]:
+    """A mailbox of empty messages, large enough for repeated Move requests.
+
+    The paper's Read and Move requests operate on an empty message; providing
+    ``message_count`` of them lets a benchmark repeat the Move request without
+    running out of messages.
+    """
+    return [
+        {"from": b"user%03d@example.org" % i, "subject": b"(no subject)", "body": b""}
+        for i in range(message_count)
+    ]
+
+
+def pine_requests(kind: str, count: int = 1) -> List[Request]:
+    """Pine requests: ``read``, ``compose``, or ``move`` (paper's Figure 2 rows)."""
+    if kind == "read":
+        return [Request(kind="read", payload={"index": 0}) for _ in range(count)]
+    if kind == "compose":
+        return [Request(kind="compose") for _ in range(count)]
+    if kind == "move":
+        return [
+            Request(kind="move", payload={"index": 0, "target": "saved-messages"})
+            for _ in range(count)
+        ]
+    raise ValueError(f"unknown pine request kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Apache (Figure 3)
+# ---------------------------------------------------------------------------
+
+
+def apache_requests(kind: str, count: int = 1) -> List[Request]:
+    """Apache requests: ``small`` (home page) or ``large`` (830 KByte file)."""
+    urls = {"small": "/index.html", "large": "/download/big.dat"}
+    if kind not in urls:
+        raise ValueError(f"unknown apache request kind {kind!r}")
+    return [Request(kind="get", payload={"url": urls[kind]}) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Sendmail (Figure 4)
+# ---------------------------------------------------------------------------
+
+_SMALL_BODY = b"ping"
+_LARGE_BODY = (b"Lorem ipsum dolor sit amet, consectetur adipiscing elit. " * 72)[:4096]
+
+
+def sendmail_requests(kind: str, count: int = 1) -> List[Request]:
+    """Sendmail requests: ``recv_small``, ``recv_large``, ``send_small``, ``send_large``."""
+    bodies = {
+        "recv_small": ("receive", _SMALL_BODY),
+        "recv_large": ("receive", _LARGE_BODY),
+        "send_small": ("send", _SMALL_BODY),
+        "send_large": ("send", _LARGE_BODY),
+    }
+    if kind not in bodies:
+        raise ValueError(f"unknown sendmail request kind {kind!r}")
+    direction, body = bodies[kind]
+    return [
+        Request(
+            kind=direction,
+            payload={
+                "sender": b"peer@example.org",
+                "recipient": b"user@localhost",
+                "body": body,
+            },
+        )
+        for _ in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Midnight Commander (Figure 5)
+# ---------------------------------------------------------------------------
+
+
+def midnight_commander_vfs_files(
+    directory_bytes: int = 2 * 1024 * 1024,
+    file_count: int = 16,
+    delete_file_bytes: int = 256 * 1024,
+) -> Dict[str, bytes]:
+    """Pre-populate the VFS with a directory tree to copy/move and a file to delete.
+
+    The paper copies a 31 MByte tree and deletes a 3.2 MByte file; the default
+    sizes here are scaled down so the benchmark suite stays fast, and the
+    benchmark harness documents the scaling in its output.
+    """
+    per_file = max(directory_bytes // file_count, 1)
+    files = {
+        f"/home/user/data/file{i:02d}.bin": bytes([i % 251]) * per_file
+        for i in range(file_count)
+    }
+    files["/home/user/big-download.iso"] = b"\xab" * delete_file_bytes
+    return files
+
+
+def midnight_commander_requests(kind: str, count: int = 1, unique_suffix: int = 0) -> List[Request]:
+    """Midnight Commander requests: ``copy``, ``move``, ``mkdir``, ``delete``.
+
+    ``move`` requests alternate direction (data -> data_moved -> data) so any
+    number of repetitions succeeds; ``copy`` and ``mkdir`` use unique target
+    names; ``delete`` always targets the pre-populated large file and the
+    caller is expected to re-create it between repetitions (the harness does).
+    """
+    requests: List[Request] = []
+    for i in range(count):
+        token = f"{unique_suffix}_{i}"
+        if kind == "copy":
+            requests.append(
+                Request(kind="copy", payload={"source": "/home/user/data", "target": f"/home/user/copy{token}"})
+            )
+        elif kind == "move":
+            if i % 2 == 0:
+                payload = {"source": "/home/user/data", "target": "/home/user/data_moved"}
+            else:
+                payload = {"source": "/home/user/data_moved", "target": "/home/user/data"}
+            requests.append(Request(kind="move", payload=payload))
+        elif kind == "mkdir":
+            requests.append(Request(kind="mkdir", payload={"path": f"/home/user/newdir{token}"}))
+        elif kind == "delete":
+            requests.append(Request(kind="delete", payload={"path": "/home/user/big-download.iso"}))
+        else:
+            raise ValueError(f"unknown midnight commander request kind {kind!r}")
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Mutt (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def mutt_benchmark_folders(message_count: int = 64) -> Dict[bytes, List[Dict[str, bytes]]]:
+    """Folders with enough empty messages for repeated Move requests."""
+    return {
+        b"INBOX": [
+            {"from": b"user%03d@example.org" % i, "subject": b"(no subject)", "body": b""}
+            for i in range(message_count)
+        ],
+        b"archive": [],
+    }
+
+
+def mutt_requests(kind: str, count: int = 1) -> List[Request]:
+    """Mutt requests: ``read`` or ``move`` (paper's Figure 6 rows)."""
+    if kind == "read":
+        return [Request(kind="read", payload={"index": 0}) for _ in range(count)]
+    if kind == "move":
+        return [
+            Request(kind="move", payload={"index": 0, "target": b"archive"})
+            for _ in range(count)
+        ]
+    raise ValueError(f"unknown mutt request kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Registry used by the harness
+# ---------------------------------------------------------------------------
+
+#: For each server, the request kinds that appear as rows of its figure.
+FIGURE_ROWS: Dict[str, List[str]] = {
+    "pine": ["read", "compose", "move"],
+    "apache": ["small", "large"],
+    "sendmail": ["recv_small", "recv_large", "send_small", "send_large"],
+    "midnight-commander": ["copy", "move", "mkdir", "delete"],
+    "mutt": ["read", "move"],
+}
+
+_GENERATORS = {
+    "pine": pine_requests,
+    "apache": apache_requests,
+    "sendmail": sendmail_requests,
+    "mutt": mutt_requests,
+}
+
+
+def benign_requests_for(server_name: str, kind: str, count: int = 1, **kwargs) -> List[Request]:
+    """Return ``count`` benign requests of the given kind for the given server."""
+    if server_name == "midnight-commander":
+        return midnight_commander_requests(kind, count, **kwargs)
+    try:
+        generator = _GENERATORS[server_name]
+    except KeyError:
+        raise KeyError(f"no benign workload defined for server {server_name!r}") from None
+    return generator(kind, count)
+
+
+def random_legitimate_request(server_name: str, rng: random.Random) -> Request:
+    """Pick a random benign request for a server (used by the stability streams)."""
+    kinds = FIGURE_ROWS[server_name]
+    # Exclude workload kinds that need setup state (copies/moves of unique paths).
+    safe_kinds = [k for k in kinds if k not in ("move", "copy", "delete")] or kinds
+    kind = rng.choice(safe_kinds)
+    suffix = rng.randrange(1_000_000)
+    if server_name == "midnight-commander":
+        return midnight_commander_requests(kind, 1, unique_suffix=suffix)[0]
+    return benign_requests_for(server_name, kind, 1)[0]

@@ -1,0 +1,98 @@
+"""Mixed request streams for the stability and throughput experiments.
+
+The paper's stability experiments (§4.2.4, §4.3.4, §4.4.4, §4.5.4, §4.6.4) run
+each server for a long period on its normal workload while periodically
+injecting the attack input; the Apache throughput experiment (§4.3.2) loads
+the server with attack requests from several machines while a legitimate
+client fetches the home page.  This module builds those request sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.servers.base import Request
+from repro.workloads.attacks import attack_request_for
+from repro.workloads.benign import random_legitimate_request
+
+
+@dataclass
+class RequestStream:
+    """A finite, ordered stream of requests plus bookkeeping about its makeup."""
+
+    requests: List[Request] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def attack_count(self) -> int:
+        """Number of attack requests in the stream."""
+        return sum(1 for request in self.requests if request.is_attack)
+
+    @property
+    def legitimate_count(self) -> int:
+        """Number of legitimate requests in the stream."""
+        return len(self.requests) - self.attack_count
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (
+            f"{len(self.requests)} requests "
+            f"({self.legitimate_count} legitimate, {self.attack_count} attack)"
+        )
+
+
+def mixed_stream(
+    server_name: str,
+    total_requests: int = 200,
+    attack_every: int = 25,
+    seed: int = 20040101,
+    attack_request: Optional[Request] = None,
+) -> RequestStream:
+    """A long benign stream with an attack injected every ``attack_every`` requests.
+
+    This is the stability workload: mostly legitimate traffic, periodically
+    interrupted by the documented attack, with the expectation (for the
+    failure-oblivious build) that every legitimate request is still served.
+    """
+    if total_requests <= 0:
+        raise ValueError("total_requests must be positive")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    for index in range(total_requests):
+        if attack_every > 0 and index > 0 and index % attack_every == 0:
+            requests.append(attack_request if attack_request is not None
+                            else attack_request_for(server_name))
+        else:
+            requests.append(random_legitimate_request(server_name, rng))
+    return RequestStream(requests=requests)
+
+
+def throughput_stream(
+    attack_fraction: float = 0.5,
+    total_requests: int = 400,
+    seed: int = 20040102,
+) -> RequestStream:
+    """The Apache throughput-under-attack workload (§4.3.2).
+
+    Attack requests (URLs that trigger the rewrite overflow) are interleaved
+    with legitimate fetches of the project home page in the requested
+    proportion; the experiment measures the rate at which the legitimate
+    fetches complete.
+    """
+    if not 0.0 <= attack_fraction < 1.0:
+        raise ValueError("attack_fraction must be in [0, 1)")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    for _ in range(total_requests):
+        if rng.random() < attack_fraction:
+            requests.append(attack_request_for("apache"))
+        else:
+            requests.append(Request(kind="get", payload={"url": "/index.html"}))
+    return RequestStream(requests=requests)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import (
+    BoundlessPolicy,
+    BoundsCheckPolicy,
+    FailureObliviousPolicy,
+    RedirectPolicy,
+    StandardPolicy,
+)
+from repro.memory.context import MemoryContext
+
+
+@pytest.fixture
+def fo_ctx() -> MemoryContext:
+    """A memory context under the failure-oblivious policy."""
+    return MemoryContext(FailureObliviousPolicy())
+
+
+@pytest.fixture
+def bc_ctx() -> MemoryContext:
+    """A memory context under the bounds-check (CRED) policy."""
+    return MemoryContext(BoundsCheckPolicy())
+
+
+@pytest.fixture
+def std_ctx() -> MemoryContext:
+    """A memory context under the unchecked standard policy."""
+    return MemoryContext(StandardPolicy())
+
+
+@pytest.fixture(params=["standard", "bounds-check", "failure-oblivious", "boundless", "redirect"])
+def any_policy_name(request) -> str:
+    """Every registered policy name, for parametrized policy-agnostic tests."""
+    return request.param
+
+
+POLICY_CLASSES = {
+    "standard": StandardPolicy,
+    "bounds-check": BoundsCheckPolicy,
+    "failure-oblivious": FailureObliviousPolicy,
+    "boundless": BoundlessPolicy,
+    "redirect": RedirectPolicy,
+}

@@ -1,0 +1,123 @@
+"""Tests for the simulated address space."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.memory.address_space import (
+    AddressSpace,
+    GLOBALS_BASE,
+    HEAP_BASE,
+    STACK_BASE,
+)
+
+
+class TestSegments:
+    def test_standard_segments_exist(self):
+        space = AddressSpace()
+        assert {segment.name for segment in space.segments()} == {"globals", "heap", "stack"}
+
+    def test_segment_bases(self):
+        space = AddressSpace()
+        assert space.globals.base == GLOBALS_BASE
+        assert space.heap.base == HEAP_BASE
+        assert space.stack.base == STACK_BASE
+
+    def test_map_segment_rejects_overlap(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_segment("evil", HEAP_BASE + 10, 100)
+
+    def test_map_segment_rejects_zero_size(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_segment("empty", 0x9000_0000, 0)
+
+    def test_custom_segment_is_usable(self):
+        space = AddressSpace()
+        segment = space.map_segment("mmap", 0x9000_0000, 64)
+        space.write(segment.base, b"hello")
+        assert space.read(segment.base, 5) == b"hello"
+
+    def test_find_segment(self):
+        space = AddressSpace()
+        assert space.find_segment(HEAP_BASE).name == "heap"
+        assert space.find_segment(0x0) is None
+
+    def test_is_mapped_range_spanning_end(self):
+        space = AddressSpace(heap_size=64)
+        assert space.is_mapped(HEAP_BASE, 64)
+        assert not space.is_mapped(HEAP_BASE, 65)
+
+
+class TestRawAccess:
+    def test_write_then_read(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE + 100, b"data")
+        assert space.read(HEAP_BASE + 100, 4) == b"data"
+
+    def test_read_unmapped_faults(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            space.read(0x1234, 1)
+
+    def test_write_unmapped_faults(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            space.write(0x1234, b"x")
+
+    def test_write_past_segment_end_faults(self):
+        space = AddressSpace(heap_size=32)
+        with pytest.raises(SegmentationFault):
+            space.write(HEAP_BASE + 30, b"abcdef")
+
+    def test_fault_records_address(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault) as excinfo:
+            space.read_byte(0x42)
+        assert excinfo.value.address == 0x42
+
+    def test_byte_helpers(self):
+        space = AddressSpace()
+        space.write_byte(STACK_BASE + 5, 0xAB)
+        assert space.read_byte(STACK_BASE + 5) == 0xAB
+
+    def test_byte_fast_path_crosses_segments(self):
+        space = AddressSpace()
+        space.write_byte(HEAP_BASE, 1)
+        space.write_byte(STACK_BASE, 2)
+        assert space.read_byte(HEAP_BASE) == 1
+        assert space.read_byte(STACK_BASE) == 2
+
+    def test_byte_fast_path_faults_on_unmapped(self):
+        space = AddressSpace()
+        space.read_byte(HEAP_BASE)
+        with pytest.raises(SegmentationFault):
+            space.read_byte(0x50)
+        with pytest.raises(SegmentationFault):
+            space.write_byte(0x50, 1)
+
+    def test_fill(self):
+        space = AddressSpace()
+        space.fill(HEAP_BASE, 0x7F, 16)
+        assert space.read(HEAP_BASE, 16) == b"\x7f" * 16
+
+    def test_zero_length_read_and_write(self):
+        space = AddressSpace()
+        assert space.read(HEAP_BASE, 0) == b""
+        space.write(HEAP_BASE, b"")  # no-op, must not fault
+
+    def test_negative_length_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.read(HEAP_BASE, -1)
+
+    def test_raw_access_counters(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE, b"abcd")
+        space.read(HEAP_BASE, 4)
+        assert space.raw_writes >= 4
+        assert space.raw_reads >= 4
+
+    def test_memory_initially_zeroed(self):
+        space = AddressSpace()
+        assert space.read(HEAP_BASE, 64) == b"\x00" * 64

@@ -1,0 +1,164 @@
+"""Tests for the heap allocator and its smashable metadata."""
+
+import pytest
+
+from repro.errors import DoubleFree, HeapCorruption
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HEADER_SIZE, HeapAllocator
+from repro.memory.object_table import ObjectTable
+
+
+@pytest.fixture
+def heap():
+    space = AddressSpace(heap_size=64 * 1024)
+    table = ObjectTable()
+    return space, table, HeapAllocator(space, table)
+
+
+class TestAllocation:
+    def test_malloc_registers_unit(self, heap):
+        space, table, allocator = heap
+        unit = allocator.malloc(32, name="buf")
+        assert table.find(unit.base) is unit
+        assert unit.size == 32
+
+    def test_allocations_do_not_overlap(self, heap):
+        _, _, allocator = heap
+        units = [allocator.malloc(24) for _ in range(20)]
+        ranges = sorted((u.base, u.end) for u in units)
+        for (base_a, end_a), (base_b, _end_b) in zip(ranges, ranges[1:]):
+            assert end_a <= base_b
+
+    def test_user_data_does_not_overlap_headers(self, heap):
+        _, _, allocator = heap
+        a = allocator.malloc(16)
+        b = allocator.malloc(16)
+        assert b.base - a.end >= HEADER_SIZE
+
+    def test_calloc_zeroes_recycled_memory(self, heap):
+        space, _, allocator = heap
+        dirty = allocator.malloc(32)
+        space.fill(dirty.base, 0xFF, 32)
+        allocator.free(dirty)
+        unit = allocator.calloc(4, 8)
+        assert unit.base == dirty.base  # recycled the dirty chunk
+        assert space.read(unit.base, 32) == b"\x00" * 32
+
+    def test_zero_byte_malloc(self, heap):
+        _, _, allocator = heap
+        unit = allocator.malloc(0)
+        assert unit.size > 0
+
+    def test_negative_malloc_rejected(self, heap):
+        _, _, allocator = heap
+        with pytest.raises(ValueError):
+            allocator.malloc(-1)
+
+    def test_heap_exhaustion(self):
+        space = AddressSpace(heap_size=256)
+        allocator = HeapAllocator(space, ObjectTable())
+        with pytest.raises(MemoryError):
+            for _ in range(100):
+                allocator.malloc(64)
+
+    def test_counters(self, heap):
+        _, _, allocator = heap
+        unit = allocator.malloc(8)
+        allocator.free(unit)
+        assert allocator.allocations == 1
+        assert allocator.frees == 1
+
+
+class TestFree:
+    def test_free_unregisters(self, heap):
+        _, table, allocator = heap
+        unit = allocator.malloc(16)
+        allocator.free(unit)
+        assert table.find(unit.base) is None
+        assert not unit.alive
+
+    def test_double_free_detected(self, heap):
+        _, _, allocator = heap
+        unit = allocator.malloc(16)
+        allocator.free(unit)
+        with pytest.raises(DoubleFree):
+            allocator.free(unit)
+
+    def test_freed_chunk_is_reused(self, heap):
+        _, _, allocator = heap
+        unit = allocator.malloc(16)
+        base = unit.base
+        allocator.free(unit)
+        again = allocator.malloc(12)
+        assert again.base == base
+
+    def test_free_non_heap_unit_rejected(self, heap):
+        _, _, allocator = heap
+        from repro.memory.data_unit import UnitKind, make_unit
+
+        stack_unit = make_unit(name="local", base=0x7000_0000, size=8, kind=UnitKind.STACK)
+        with pytest.raises(ValueError):
+            allocator.free(stack_unit)
+
+    def test_live_allocation_tracking(self, heap):
+        _, _, allocator = heap
+        a = allocator.malloc(8)
+        allocator.malloc(8)
+        allocator.free(a)
+        assert len(allocator.live_allocations()) == 1
+        assert allocator.live_bytes() == 8
+
+
+class TestRealloc:
+    def test_realloc_grows_and_copies(self, heap):
+        space, _, allocator = heap
+        unit = allocator.malloc(8)
+        space.write(unit.base, b"ABCDEFGH")
+        bigger = allocator.realloc(unit, 32)
+        assert space.read(bigger.base, 8) == b"ABCDEFGH"
+        assert bigger.size == 32
+        assert not unit.alive
+
+    def test_realloc_shrinks(self, heap):
+        space, _, allocator = heap
+        unit = allocator.malloc(16)
+        space.write(unit.base, b"0123456789abcdef")
+        smaller = allocator.realloc(unit, 4)
+        assert space.read(smaller.base, 4) == b"0123"
+
+    def test_realloc_none_behaves_like_malloc(self, heap):
+        _, _, allocator = heap
+        unit = allocator.realloc(None, 24)
+        assert unit.size == 24
+
+
+class TestCorruptionDetection:
+    def test_overflow_into_next_header_detected_on_free(self, heap):
+        space, _, allocator = heap
+        victim = allocator.malloc(16)
+        neighbour = allocator.malloc(16)
+        # Unchecked overflow: smash the neighbour's header directly.
+        space.write(victim.end, b"A" * HEADER_SIZE)
+        with pytest.raises(HeapCorruption):
+            allocator.free(neighbour)
+
+    def test_overflow_into_top_chunk_detected_by_next_malloc(self, heap):
+        space, _, allocator = heap
+        last = allocator.malloc(16)
+        space.write(last.end, b"B" * HEADER_SIZE)
+        with pytest.raises(HeapCorruption):
+            allocator.malloc(16)
+
+    def test_verify_heap_walks_all_chunks(self, heap):
+        space, _, allocator = heap
+        a = allocator.malloc(16)
+        allocator.malloc(16)
+        space.write(a.end, b"C" * 4)
+        with pytest.raises(HeapCorruption):
+            allocator.verify_heap()
+
+    def test_verify_heap_clean(self, heap):
+        _, _, allocator = heap
+        allocator.malloc(16)
+        allocator.malloc(32)
+        allocator.verify_heap()  # must not raise

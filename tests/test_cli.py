@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.experiments import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_runs_a_figure(self, capsys):
+        assert main(["run", "fig3", "--repetitions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Slowdown" in out
+
+    def test_runs_the_security_matrix(self, capsys):
+        assert main(["run", "tab-security"]) == 0
+        out = capsys.readouterr().out
+        assert "failure-oblivious" in out
+
+    def test_unknown_experiment_is_an_argparse_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestAttack:
+    def test_failure_oblivious_attack_scenario_succeeds(self, capsys):
+        assert main(["attack", "apache", "--policy", "failure-oblivious"]) == 0
+        out = capsys.readouterr().out
+        assert "continued service : yes" in out
+
+    def test_standard_attack_scenario_reports_failure(self, capsys):
+        assert main(["attack", "apache", "--policy", "standard"]) == 0
+        out = capsys.readouterr().out
+        assert "survived attack   : no" in out
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "nginx"])

@@ -1,0 +1,71 @@
+"""Tests for the exception/outcome model."""
+
+import pytest
+
+from repro.errors import (
+    AccessKind,
+    BoundsCheckViolation,
+    ControlFlowHijack,
+    ErrorKind,
+    FATAL_OUTCOMES,
+    MemoryErrorEvent,
+    RequestOutcome,
+    RequestResult,
+    SegmentationFault,
+)
+
+
+def event(**overrides):
+    base = dict(
+        kind=ErrorKind.OUT_OF_BOUNDS,
+        access=AccessKind.WRITE,
+        unit_name="buf#1",
+        unit_size=16,
+        offset=20,
+        length=4,
+        site="f",
+    )
+    base.update(overrides)
+    return MemoryErrorEvent(**base)
+
+
+class TestExceptions:
+    def test_segfault_formats_address(self):
+        fault = SegmentationFault(0xDEAD)
+        assert fault.address == 0xDEAD
+        assert "0xdead" in str(fault)
+
+    def test_bounds_check_violation_carries_event(self):
+        violation = BoundsCheckViolation(event())
+        assert violation.event.unit_name == "buf#1"
+        assert "buf#1" in str(violation)
+
+    def test_hijack_carries_payload_tag(self):
+        hijack = ControlFlowHijack(0x41414141, payload_tag="41414141")
+        assert hijack.payload_tag == "41414141"
+
+
+class TestOutcomes:
+    def test_fatal_outcomes_cover_all_process_deaths(self):
+        assert RequestOutcome.CRASHED in FATAL_OUTCOMES
+        assert RequestOutcome.TERMINATED_BY_CHECK in FATAL_OUTCOMES
+        assert RequestOutcome.EXPLOITED in FATAL_OUTCOMES
+        assert RequestOutcome.HUNG in FATAL_OUTCOMES
+        assert RequestOutcome.SERVED not in FATAL_OUTCOMES
+
+    def test_request_result_fatal_and_acceptable(self):
+        served = RequestResult(outcome=RequestOutcome.SERVED)
+        rejected = RequestResult(outcome=RequestOutcome.REJECTED_BY_ERROR_HANDLING)
+        crashed = RequestResult(outcome=RequestOutcome.CRASHED)
+        assert served.acceptable and not served.fatal
+        assert rejected.acceptable and not rejected.fatal
+        assert crashed.fatal and not crashed.acceptable
+
+    def test_event_is_immutable(self):
+        e = event()
+        with pytest.raises(Exception):
+            e.offset = 99
+
+    def test_event_describe_mentions_kind_and_access(self):
+        text = event(kind=ErrorKind.USE_AFTER_FREE, access=AccessKind.READ).describe()
+        assert "use-after-free" in text and "read" in text

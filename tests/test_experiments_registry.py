@@ -1,0 +1,54 @@
+"""Tests for the experiment registry (one entry per paper table/figure)."""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
+
+
+EXPECTED_IDS = {
+    "fig2", "fig3", "fig4", "fig5", "fig6",
+    "tab-security", "exp-throughput", "exp-stability", "exp-variants", "exp-propagation",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("figure_id", ["fig2", "fig3", "fig4", "fig5", "fig6"])
+    def test_figures_run_and_produce_tables(self, figure_id):
+        output = run_experiment(figure_id, repetitions=3, scale=0.1)
+        assert isinstance(output, ExperimentOutput)
+        assert "Slowdown" in output.table
+        assert output.data  # FigureRow list
+
+    def test_security_experiment(self):
+        output = run_experiment("tab-security", scale=0.1)
+        assert "failure-oblivious" in output.table
+        assert len(output.data["cells"]) == 15  # 5 servers x 3 builds
+
+    def test_throughput_experiment(self):
+        output = run_experiment("exp-throughput", total_requests=60, pool_size=2)
+        assert output.data["fo_over_bc"] > 1.0
+        assert output.data["fo_over_std"] > 1.0
+
+    def test_stability_experiment(self):
+        output = run_experiment("exp-stability", total_requests=30, attack_every=10, scale=0.1)
+        assert all(result.flawless for result in output.data.values())
+
+    def test_variants_experiment(self):
+        output = run_experiment("exp-variants", scale=0.1)
+        assert output.data["survived"]["boundless"]
+        assert output.data["survived"]["redirect"]
+
+    def test_propagation_experiment(self):
+        output = run_experiment("exp-propagation", total_requests=16, attack_every=8, scale=0.1)
+        assert all(report.short_propagation for report in output.data.values())
+
+    def test_output_str_includes_notes(self):
+        output = run_experiment("fig3", repetitions=3, scale=0.1)
+        assert "Slowdown" in str(output)

@@ -1,0 +1,56 @@
+"""Tests for type sizes and struct layout."""
+
+import pytest
+
+from repro.memory.layout import StructLayout, align_up, sizeof
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "type_name,expected",
+        [("char", 1), ("unsigned char", 1), ("short", 2), ("int", 4), ("size_t", 4), ("char*", 4)],
+    )
+    def test_primitive_sizes(self, type_name, expected):
+        assert sizeof(type_name) == expected
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            sizeof("quux_t")
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(8, 4) == 8
+
+    def test_rounds_up(self):
+        assert align_up(9, 4) == 12
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(8, 0)
+
+
+class TestStructLayout:
+    def test_sequential_fields(self):
+        layout = StructLayout("pair", [("start", 4), ("end", 4)])
+        assert layout.offset_of("start") == 0
+        assert layout.offset_of("end") == 4
+        assert layout.size == 8
+
+    def test_natural_alignment_inserts_padding(self):
+        layout = StructLayout("mixed", [("flag", 1), ("value", 4)])
+        assert layout.offset_of("value") == 4
+        assert layout.size == 8
+
+    def test_field_names_in_order(self):
+        layout = StructLayout("s", [("a", 1), ("b", 2), ("c", 4)])
+        assert layout.field_names() == ["a", "b", "c"]
+
+    def test_size_of_field(self):
+        layout = StructLayout("s", [("a", 2)])
+        assert layout.size_of("a") == 2
+
+    def test_regmatch_style_array_element(self):
+        """The Apache capture buffer stores 8-byte (start, end) pairs."""
+        layout = StructLayout("regmatch_t", [("rm_so", 4), ("rm_eo", 4)])
+        assert layout.size == 8

@@ -1,0 +1,163 @@
+"""Tests for the Midnight Commander reimplementation (paper §4.5)."""
+
+import pytest
+
+from repro.core.manufacture import ZeroValueSequence
+from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import RequestOutcome
+from repro.servers.base import Request
+from repro.servers.midnight_commander import ArchiveEntry, MidnightCommanderServer
+from repro.workloads.attacks import (
+    midnight_commander_attack_request,
+    midnight_commander_blank_line_config,
+)
+from repro.workloads.benign import midnight_commander_vfs_files
+
+
+def make_mc(policy_cls, config=None):
+    merged = {"vfs_files": midnight_commander_vfs_files(directory_bytes=64 * 1024,
+                                                        delete_file_bytes=16 * 1024)}
+    merged.update(config or {})
+    server = MidnightCommanderServer(policy_cls, config=merged)
+    boot = server.start()
+    return server, boot
+
+
+class TestBenignBehaviour:
+    def test_boot_parses_configuration(self):
+        server, boot = make_mc(FailureObliviousPolicy)
+        assert boot.outcome is RequestOutcome.SERVED
+        assert server.settings["verbose"] == "1"
+
+    def test_copy_directory(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(
+            Request(kind="copy", payload={"source": "/home/user/data", "target": "/home/user/copy"})
+        )
+        assert result.outcome is RequestOutcome.SERVED
+        assert len(server.vfs.tree("/home/user/copy")) == 16
+
+    def test_copy_preserves_contents(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        server.process(
+            Request(kind="copy", payload={"source": "/home/user/data", "target": "/home/user/copy"})
+        )
+        assert (
+            server.vfs.files["/home/user/copy/file00.bin"]
+            == server.vfs.files["/home/user/data/file00.bin"]
+        )
+
+    def test_move_directory(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(
+            Request(kind="move", payload={"source": "/home/user/data", "target": "/home/user/moved"})
+        )
+        assert result.outcome is RequestOutcome.SERVED
+        assert not server.vfs.tree("/home/user/data")
+        assert len(server.vfs.tree("/home/user/moved")) == 16
+
+    def test_mkdir_and_duplicate_rejected(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        assert server.process(Request(kind="mkdir", payload={"path": "/home/user/new"})).outcome \
+            is RequestOutcome.SERVED
+        assert server.process(Request(kind="mkdir", payload={"path": "/home/user/new"})).outcome \
+            is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_delete_file(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(Request(kind="delete", payload={"path": "/home/user/big-download.iso"}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert "/home/user/big-download.iso" not in server.vfs.files
+
+    def test_delete_missing_rejected(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(Request(kind="delete", payload={"path": "/nope"}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_copy_missing_source_rejected(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(Request(kind="copy", payload={"source": "/nope", "target": "/x"}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_benign_archive_with_files_only(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        entries = [ArchiveEntry(name="a.txt", content=b"aa"), ArchiveEntry(name="b.txt", content=b"bb")]
+        result = server.process(Request(kind="open_archive", payload={"entries": entries}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert b"a.txt" in result.response.body
+
+
+class TestBlankConfigurationLine:
+    """§4.5.4: a blank line in the configuration file triggers a memory error."""
+
+    def test_bounds_check_terminates_at_startup(self):
+        _, boot = make_mc(BoundsCheckPolicy, config=midnight_commander_blank_line_config())
+        assert boot.outcome is RequestOutcome.TERMINATED_BY_CHECK
+
+    def test_standard_tolerates_blank_lines(self):
+        _, boot = make_mc(StandardPolicy, config=midnight_commander_blank_line_config())
+        assert boot.outcome is RequestOutcome.SERVED
+
+    def test_failure_oblivious_parses_and_logs(self):
+        server, boot = make_mc(FailureObliviousPolicy, config=midnight_commander_blank_line_config())
+        assert boot.outcome is RequestOutcome.SERVED
+        assert server.settings["confirm_delete"] == "1"
+        assert server.ctx.error_log.count_by_site()["mc.load_setup"] >= 2
+
+    def test_default_configuration_has_no_blank_line_errors(self):
+        server, _ = make_mc(BoundsCheckPolicy)
+        assert server.alive
+
+
+class TestSymlinkAttack:
+    """The tgz symlink strcat overflow (§4.5.2)."""
+
+    def test_standard_crashes_opening_malicious_archive(self):
+        server, _ = make_mc(StandardPolicy)
+        result = server.process(midnight_commander_attack_request())
+        assert result.outcome in (RequestOutcome.CRASHED, RequestOutcome.EXPLOITED)
+
+    def test_bounds_check_terminates(self):
+        server, _ = make_mc(BoundsCheckPolicy)
+        result = server.process(midnight_commander_attack_request())
+        assert result.outcome is RequestOutcome.TERMINATED_BY_CHECK
+
+    def test_failure_oblivious_shows_dangling_links_and_continues(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(midnight_commander_attack_request())
+        assert result.outcome is RequestOutcome.SERVED
+        assert b"dangling" in result.response.body
+        follow_up = server.process(Request(kind="mkdir", payload={"path": "/home/user/ok"}))
+        assert follow_up.outcome is RequestOutcome.SERVED
+
+    def test_failure_oblivious_errors_attributed_to_symlink_code(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        server.process(midnight_commander_attack_request())
+        assert server.ctx.error_log.count_by_site()["mc.vfs_s_resolve_symlink"] > 0
+
+
+class TestSlashSearchLoop:
+    """§3: the loop that searches past the end of a buffer for '/'."""
+
+    def test_paper_sequence_lets_the_loop_terminate(self):
+        server, _ = make_mc(FailureObliviousPolicy)
+        result = server.process(Request(kind="find_component", payload={"name": "noslashhere"}))
+        assert result.outcome is RequestOutcome.SERVED
+
+    def test_all_zero_sequence_hangs(self):
+        from repro.core.policies import FailureObliviousPolicy as FO
+
+        def zero_policy():
+            return FO(sequence=ZeroValueSequence())
+
+        config = {"vfs_files": midnight_commander_vfs_files(directory_bytes=16 * 1024)}
+        server = MidnightCommanderServer(zero_policy, config=config)
+        server.start()
+        result = server.process(Request(kind="find_component", payload={"name": "noslash"}))
+        assert result.outcome is RequestOutcome.HUNG
+
+    def test_name_containing_slash_never_reads_out_of_bounds(self):
+        server, _ = make_mc(BoundsCheckPolicy)
+        result = server.process(Request(kind="find_component", payload={"name": "dir/file"}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert "3" in result.response.detail

@@ -1,0 +1,76 @@
+"""Tests running the paper's Figure 1 source through the mini-C front end."""
+
+import pytest
+
+from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import BoundsCheckViolation, HeapCorruption, MemoryFault
+from repro.minic import compile_program
+from repro.minic.figure1 import FIGURE1_SOURCE
+from repro.minic.interpreter import TypedPointer
+from repro.servers.mutt import utf8_to_utf7
+from repro.memory.context import MemoryContext
+from repro.workloads.attacks import mutt_attack_folder_name
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(FIGURE1_SOURCE)
+
+
+def convert(program, name: bytes, policy):
+    instance = program.instantiate(policy)
+    result = instance.call("utf8_to_utf7", name, len(name))
+    if isinstance(result, TypedPointer):
+        return instance, instance.read_string(result)
+    return instance, None
+
+
+class TestBenignConversion:
+    def test_compiles_single_function(self, program):
+        assert program.function_names() == ["utf8_to_utf7"]
+
+    def test_ascii_identity(self, program):
+        _, out = convert(program, b"INBOX", FailureObliviousPolicy())
+        assert out == b"INBOX"
+
+    def test_accented_name(self, program):
+        _, out = convert(program, "café".encode("utf-8"), FailureObliviousPolicy())
+        assert out == b"caf&AOk-"
+
+    def test_invalid_utf8_returns_null(self, program):
+        instance = program.instantiate(FailureObliviousPolicy())
+        result = instance.call("utf8_to_utf7", b"\xc1\x80", 2)
+        assert result == 0 or (isinstance(result, TypedPointer) and result.is_null)
+
+    def test_minic_output_matches_python_port(self, program):
+        """The interpreted C and the hand-ported Python must agree byte for byte."""
+        for name in (b"INBOX", b"archive/2004", "déjà".encode("utf-8"), b"a&b"):
+            _, minic_out = convert(program, name, FailureObliviousPolicy())
+            ctx = MemoryContext(FailureObliviousPolicy())
+            source = ctx.alloc_c_string(name)
+            python_out = ctx.read_c_string(utf8_to_utf7(ctx, source, len(name)))
+            assert minic_out == python_out, name
+
+
+class TestAttackConversion:
+    """The same source, three builds, three behaviours (paper §2)."""
+
+    def test_failure_oblivious_survives_and_truncates(self, program):
+        instance, out = convert(program, mutt_attack_folder_name(60), FailureObliviousPolicy())
+        assert out is not None
+        assert instance.ctx.error_log.count_writes() > 0
+        instance.ctx.heap.verify_heap()  # heap metadata intact
+
+    def test_bounds_check_terminates(self, program):
+        with pytest.raises(BoundsCheckViolation):
+            convert(program, mutt_attack_folder_name(60), BoundsCheckPolicy())
+
+    def test_standard_corrupts_the_heap(self, program):
+        with pytest.raises((HeapCorruption, MemoryFault)):
+            instance, _ = convert(program, mutt_attack_folder_name(60), StandardPolicy())
+            instance.ctx.heap.verify_heap()
+
+    def test_error_log_attributes_to_the_buffer(self, program):
+        instance, _ = convert(program, mutt_attack_folder_name(40), FailureObliviousPolicy())
+        assert any("utf7_buf" in event.unit_name or "minic_malloc" in event.unit_name
+                   for event in instance.ctx.error_log.events())

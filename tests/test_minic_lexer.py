@@ -1,0 +1,81 @@
+"""Tests for the mini-C tokenizer."""
+
+import pytest
+
+from repro.minic.lexer import LexError, Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [token.type for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_empty_source_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[1].value == "foo"
+
+    def test_decimal_number(self):
+        assert values("42") == [42]
+
+    def test_hex_number(self):
+        assert values("0xFF 0x1f") == [255, 31]
+
+    def test_integer_suffixes_swallowed(self):
+        assert values("10UL 5u") == [10, 5]
+
+    def test_char_literal(self):
+        assert values("'a'") == [ord("a")]
+
+    def test_char_escapes(self):
+        assert values(r"'\0' '\n' '\\' '\x41'") == [0, 10, 92, 65]
+
+    def test_string_literal(self):
+        assert values('"hello"') == [b"hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\tb\n"') == [b"a\tb\n"]
+
+    def test_multi_character_punctuation(self):
+        assert values("a <<= b >> c != d") == ["a", "<<=", "b", ">>", "c", "!=", "d"]
+
+    def test_increment_versus_plus(self):
+        assert values("a++ + b") == ["a", "++", "+", "b"]
+
+    def test_line_comments_ignored(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comments_ignored(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"open')
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_helper_predicates(self):
+        token = tokenize("while")[0]
+        assert token.is_keyword("while") and not token.is_keyword("for")
+        punct = tokenize(";")[0]
+        assert punct.is_punct(";")

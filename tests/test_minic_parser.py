@@ -1,0 +1,165 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import ParseError, parse
+
+
+def parse_function(body: str, name: str = "f") -> ast.FunctionDef:
+    unit = parse(f"int {name}(int x) {{ {body} }}")
+    return unit.function(name)
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        function = unit.function("add")
+        assert function.return_type.base == "int"
+        assert [p.name for p in function.parameters] == ["a", "b"]
+
+    def test_pointer_return_and_parameters(self):
+        unit = parse("char *dup(const char *s, size_t n) { return 0; }")
+        function = unit.function("dup")
+        assert function.return_type.pointer_depth == 1
+        assert function.parameters[0].type.pointer_depth == 1
+
+    def test_void_parameter_list(self):
+        unit = parse("int f(void) { return 1; }")
+        assert unit.function("f").parameters == []
+
+    def test_global_string_variable(self):
+        unit = parse('static char *greeting = "hi";\nint f(void) { return 0; }')
+        assert unit.globals[0].name == "greeting"
+        assert isinstance(unit.globals[0].initializer, ast.StringLiteral)
+
+    def test_global_array(self):
+        unit = parse("int table[16];\nint f(void) { return 0; }")
+        assert unit.globals[0].array_size is not None
+
+    def test_unknown_function_lookup(self):
+        unit = parse("int f(void) { return 0; }")
+        with pytest.raises(KeyError):
+            unit.function("g")
+
+    def test_array_parameter_decays_to_pointer(self):
+        unit = parse("int f(char buf[]) { return 0; }")
+        assert unit.function("f").parameters[0].type.pointer_depth == 1
+
+
+class TestStatements:
+    def test_declarations_with_initializers(self):
+        function = parse_function("int a = 1, b = 2; return a + b;")
+        block = function.body
+        declarations = [s for s in _flatten(block) if isinstance(s, ast.Declaration)]
+        assert [d.name for d in declarations] == ["a", "b"]
+
+    def test_mixed_pointer_declarators(self):
+        function = parse_function("char *p, c; return 0;")
+        declarations = [s for s in _flatten(function.body) if isinstance(s, ast.Declaration)]
+        assert declarations[0].type.pointer_depth == 1
+        assert declarations[1].type.pointer_depth == 0
+
+    def test_array_declaration(self):
+        function = parse_function("char buf[32]; return 0;")
+        declaration = next(s for s in _flatten(function.body) if isinstance(s, ast.Declaration))
+        assert isinstance(declaration.array_size, ast.IntLiteral)
+
+    def test_if_else_chain(self):
+        function = parse_function("if (x) return 1; else if (x + 1) return 2; else return 3;")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.else_branch, ast.If)
+
+    def test_while_and_for(self):
+        function = parse_function("while (x) x = x - 1; for (x = 0; x < 3; x++) ;")
+        assert isinstance(function.body.statements[0], ast.While)
+        assert isinstance(function.body.statements[1], ast.For)
+
+    def test_for_with_empty_clauses(self):
+        function = parse_function("for (;;) break;")
+        loop = function.body.statements[0]
+        assert loop.init is None and loop.condition is None and loop.step is None
+
+    def test_goto_and_label(self):
+        function = parse_function("goto out; out: return 0;")
+        assert isinstance(function.body.statements[0], ast.Goto)
+        assert isinstance(function.body.statements[1], ast.Label)
+
+    def test_break_continue_empty(self):
+        function = parse_function("while (x) { break; } while (x) { continue; } ;")
+        assert function.body.statements[-1].__class__ is ast.Empty
+
+    def test_missing_semicolon_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return 0 }")
+
+    def test_unterminated_block_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return 0;")
+
+
+class TestExpressions:
+    def test_precedence_of_shift_and_or(self):
+        function = parse_function("return x << 2 | 1;")
+        expr = function.body.statements[0].value
+        assert isinstance(expr, ast.Binary) and expr.op == "|"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "<<"
+
+    def test_assignment_is_right_associative(self):
+        function = parse_function("int a; int b; a = b = 1; return a;")
+        assign = function.body.statements[2].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        function = parse_function("x -= 6; return x;")
+        assign = function.body.statements[0].expr
+        assert assign.op == "-"
+
+    def test_comma_operator(self):
+        function = parse_function("x = 1, x = 2; return x;")
+        assert isinstance(function.body.statements[0].expr, ast.Comma)
+
+    def test_dereference_of_post_increment(self):
+        function = parse_function("char *p; *p++ = 'x'; return 0;")
+        assign = function.body.statements[1].expr
+        assert isinstance(assign.target, ast.Unary) and assign.target.op == "*"
+        assert isinstance(assign.target.operand, ast.IncDec)
+
+    def test_index_expression(self):
+        function = parse_function("return x[3];")
+        assert isinstance(function.body.statements[0].value, ast.Index)
+
+    def test_call_with_arguments(self):
+        function = parse_function("return g(1, x + 2);")
+        call = function.body.statements[0].value
+        assert isinstance(call, ast.Call) and len(call.args) == 2
+
+    def test_cast_expression(self):
+        function = parse_function("return (unsigned char) x;")
+        assert isinstance(function.body.statements[0].value, ast.Cast)
+
+    def test_sizeof(self):
+        function = parse_function("return sizeof(int);")
+        assert isinstance(function.body.statements[0].value, ast.SizeOf)
+
+    def test_ternary(self):
+        function = parse_function("return x ? 1 : 2;")
+        assert isinstance(function.body.statements[0].value, ast.Ternary)
+
+    def test_null_keyword_is_zero_literal(self):
+        function = parse_function("return NULL;")
+        assert function.body.statements[0].value.value == 0
+
+    def test_unary_operators(self):
+        function = parse_function("return -x + !x + ~x;")
+        assert isinstance(function.body.statements[0].value, ast.Binary)
+
+
+def _flatten(block):
+    for statement in block.statements:
+        if isinstance(statement, ast.Block):
+            yield from _flatten(statement)
+        else:
+            yield statement

@@ -1,0 +1,149 @@
+"""Tests for the Mutt reimplementation and its Figure 1 conversion (paper §2, §4.6)."""
+
+import pytest
+
+from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import RequestOutcome
+from repro.servers.base import Request
+from repro.servers.mutt import MuttServer, utf8_to_utf7
+from repro.memory.context import MemoryContext
+from repro.workloads.attacks import mutt_attack_config, mutt_attack_folder_name, mutt_attack_request
+
+
+def make_mutt(policy_cls, config=None):
+    server = MuttServer(policy_cls, config=config or {})
+    boot = server.start()
+    return server, boot
+
+
+class TestConversionRoutine:
+    """Direct tests of the Figure 1 port."""
+
+    def convert(self, name: bytes, policy=None):
+        ctx = MemoryContext(policy or FailureObliviousPolicy())
+        source = ctx.alloc_c_string(name, name="input")
+        result = utf8_to_utf7(ctx, source, len(name))
+        return ctx, (ctx.read_c_string(result) if result is not None else None)
+
+    def test_ascii_passes_through(self):
+        _, out = self.convert(b"INBOX")
+        assert out == b"INBOX"
+
+    def test_ampersand_is_escaped(self):
+        _, out = self.convert(b"a&b")
+        assert out == b"a&-b"
+
+    def test_non_ascii_uses_modified_base64(self):
+        _, out = self.convert("café".encode("utf-8"))
+        assert out == b"caf&AOk-"
+
+    def test_mixed_text_encodes_each_accented_run(self):
+        # Modified UTF-7 (RFC 3501) always closes a base64 run with '-', unlike
+        # plain UTF-7 which may omit it before characters such as a space.
+        name = "déjà vu".encode("utf-8")
+        _, out = self.convert(name)
+        assert out == b"d&AOk-j&AOA- vu"
+
+    def test_invalid_utf8_bails(self):
+        _, out = self.convert(b"\xc1\x80")
+        assert out is None
+
+    def test_truncated_multibyte_bails(self):
+        _, out = self.convert(b"\xe0\xa0")
+        assert out is None
+
+    def test_expansion_ratio_exceeds_two_for_control_characters(self):
+        name = b"\x01" * 30
+        _, out = self.convert(name)
+        assert len(out) > 2 * len(name)
+
+    def test_overflow_logged_under_failure_oblivious(self):
+        ctx, _ = self.convert(mutt_attack_folder_name(60))
+        assert ctx.error_log.count_writes() > 0
+
+    def test_overflow_terminates_bounds_check(self):
+        from repro.errors import BoundsCheckViolation
+
+        ctx = MemoryContext(BoundsCheckPolicy())
+        name = mutt_attack_folder_name(60)
+        source = ctx.alloc_c_string(name, name="input")
+        with pytest.raises(BoundsCheckViolation):
+            utf8_to_utf7(ctx, source, len(name))
+
+    def test_overflow_corrupts_heap_under_standard(self):
+        from repro.errors import HeapCorruption
+
+        ctx = MemoryContext(StandardPolicy())
+        name = mutt_attack_folder_name(60)
+        source = ctx.alloc_c_string(name, name="input")
+        # The corruption is discovered either by the realloc inside the routine
+        # or by the allocator's next heap walk, mirroring a real glibc abort.
+        with pytest.raises(HeapCorruption):
+            utf8_to_utf7(ctx, source, len(name))
+            ctx.heap.verify_heap()
+
+
+class TestBenignBehaviour:
+    def test_boot_opens_inbox(self):
+        server, boot = make_mutt(FailureObliviousPolicy)
+        assert boot.outcome is RequestOutcome.SERVED
+        assert server.current_folder_name == b"INBOX"
+
+    def test_read_message(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        result = server.process(Request(kind="read", payload={"index": 0}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert b"From: alice@example.org" in result.response.body
+
+    def test_move_message_to_archive(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        result = server.process(Request(kind="move", payload={"index": 0, "target": b"archive"}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert len(server.imap.select(b"archive")) == 1
+
+    def test_open_missing_folder_rejected(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        result = server.process(Request(kind="open_folder", payload={"folder": b"no-such"}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_read_out_of_range_rejected(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        result = server.process(Request(kind="read", payload={"index": 99}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+
+class TestAttackBehaviour:
+    """Opening the expanding folder name (§4.6.2)."""
+
+    def test_standard_crashes_when_configured_to_open_attack_folder(self):
+        _, boot = make_mutt(StandardPolicy, config=mutt_attack_config())
+        assert boot.outcome is RequestOutcome.CRASHED
+
+    def test_bounds_check_terminates_before_ui(self):
+        _, boot = make_mutt(BoundsCheckPolicy, config=mutt_attack_config())
+        assert boot.outcome is RequestOutcome.TERMINATED_BY_CHECK
+
+    def test_failure_oblivious_turns_attack_into_missing_folder(self):
+        server, boot = make_mutt(FailureObliviousPolicy, config=mutt_attack_config())
+        assert boot.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+        assert server.alive
+
+    def test_failure_oblivious_user_can_process_other_folders(self):
+        server, _ = make_mutt(FailureObliviousPolicy, config=mutt_attack_config())
+        opened = server.process(Request(kind="open_folder", payload={"folder": b"INBOX"}))
+        assert opened.outcome is RequestOutcome.SERVED
+        read = server.process(Request(kind="read", payload={"index": 0}))
+        assert read.outcome is RequestOutcome.SERVED
+
+    def test_attack_request_against_running_mutt(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        result = server.process(mutt_attack_request())
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+        assert server.alive
+
+    def test_repeated_attacks_survived(self):
+        server, _ = make_mutt(FailureObliviousPolicy)
+        for _ in range(5):
+            assert not server.process(mutt_attack_request()).fatal
+        follow_up = server.process(Request(kind="read", payload={"index": 0}))
+        assert follow_up.outcome is RequestOutcome.SERVED

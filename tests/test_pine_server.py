@@ -1,0 +1,108 @@
+"""Tests for the Pine reimplementation (paper §4.2)."""
+
+import pytest
+
+from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import RequestOutcome
+from repro.servers.base import Request
+from repro.servers.pine import PineServer
+from repro.workloads.attacks import pine_attack_message, pine_poisoned_mailbox
+
+
+def make_pine(policy_cls, mailbox=None):
+    config = {"mailbox": mailbox} if mailbox is not None else {}
+    server = PineServer(policy_cls, config=config)
+    return server, server.start()
+
+
+class TestBenignBehaviour:
+    def test_boot_builds_index(self):
+        server, boot = make_pine(FailureObliviousPolicy)
+        assert boot.outcome is RequestOutcome.SERVED
+        assert len(server.index_lines) == 3
+
+    def test_read_displays_from_and_subject(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(Request(kind="read", payload={"index": 1}))
+        assert result.outcome is RequestOutcome.SERVED
+        assert b"From:" in result.response.body
+        assert b"report" in result.response.body
+
+    def test_read_quotes_special_characters(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(Request(kind="read", payload={"index": 1}))
+        assert b'\\"Bob B.\\"' in result.response.body
+
+    def test_compose_screen(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(Request(kind="compose"))
+        assert b"Subject :" in result.response.body
+
+    def test_move_between_folders(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(
+            Request(kind="move", payload={"index": 0, "target": "saved-messages"})
+        )
+        assert result.outcome is RequestOutcome.SERVED
+        assert len(server.folders["saved-messages"]) == 1
+        assert len(server.folders["inbox"]) == 2
+
+    def test_move_to_missing_folder_rejected(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(Request(kind="move", payload={"index": 0, "target": "nope"}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_read_out_of_range_rejected(self):
+        server, _ = make_pine(FailureObliviousPolicy)
+        result = server.process(Request(kind="read", payload={"index": 99}))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_benign_mailbox_is_fine_under_all_policies(self):
+        for policy_cls in (StandardPolicy, BoundsCheckPolicy, FailureObliviousPolicy):
+            server, boot = make_pine(policy_cls)
+            assert boot.outcome is RequestOutcome.SERVED, policy_cls.__name__
+
+
+class TestAttackBehaviour:
+    """The From-field overflow (§4.2.2): crash / terminate / execute through."""
+
+    def test_standard_crashes_during_initialization(self):
+        _, boot = make_pine(StandardPolicy, mailbox=pine_poisoned_mailbox())
+        assert boot.outcome is RequestOutcome.CRASHED
+
+    def test_bounds_check_terminates_during_initialization(self):
+        _, boot = make_pine(BoundsCheckPolicy, mailbox=pine_poisoned_mailbox())
+        assert boot.outcome is RequestOutcome.TERMINATED_BY_CHECK
+
+    def test_failure_oblivious_boots_and_serves(self):
+        server, boot = make_pine(FailureObliviousPolicy, mailbox=pine_poisoned_mailbox())
+        assert boot.outcome is RequestOutcome.SERVED
+        result = server.process(Request(kind="read", payload={"index": 0}))
+        assert result.outcome is RequestOutcome.SERVED
+
+    def test_failure_oblivious_truncates_index_display_only(self):
+        """The index shows a truncated From field; selecting the message shows it in full."""
+        mailbox = pine_poisoned_mailbox(quoted_characters=32)
+        server, _ = make_pine(FailureObliviousPolicy, mailbox=mailbox)
+        attack_index = len(mailbox) - 1
+        result = server.process(Request(kind="read", payload={"index": attack_index}))
+        assert result.outcome is RequestOutcome.SERVED
+        # The correct path (selection) renders the full, quoted From field.
+        assert result.response.body.count(b"\\\"") == 32
+
+    def test_failure_oblivious_logs_the_errors(self):
+        server, _ = make_pine(FailureObliviousPolicy, mailbox=pine_poisoned_mailbox())
+        assert server.memory_error_count() > 0
+        assert any("pine.quote_from_field" in site for site in
+                   server.ctx.error_log.count_by_site())
+
+    def test_attack_message_needs_enough_quoted_characters(self):
+        with pytest.raises(ValueError):
+            pine_attack_message(quoted_characters=1)
+
+    def test_list_request_re_triggers_error_but_still_serves(self):
+        server, _ = make_pine(FailureObliviousPolicy, mailbox=pine_poisoned_mailbox())
+        errors_before = server.memory_error_count()
+        result = server.process(Request(kind="list"))
+        assert result.outcome is RequestOutcome.SERVED
+        assert server.memory_error_count() > errors_before

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for substrate invariants.
+
+The invariants checked here are the ones the paper's mechanism relies on:
+
+* failure-oblivious execution never lets an out-of-bounds access touch any
+  byte outside the intended data unit;
+* the bounds-check build never silently tolerates an invalid access;
+* in-bounds behaviour is identical across all build variants;
+* the manufactured value sequence is deterministic and byte-valued;
+* the allocator never hands out overlapping data units.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.manufacture import ManufacturedValueSequence
+from repro.core.policies import (
+    BoundsCheckPolicy,
+    FailureObliviousPolicy,
+    StandardPolicy,
+)
+from repro.errors import BoundsCheckViolation, MemoryFault, UseAfterFree
+from repro.memory.context import MemoryContext
+
+small_sizes = st.integers(min_value=1, max_value=64)
+offsets = st.integers(min_value=-32, max_value=160)
+payloads = st.binary(min_size=1, max_size=64)
+
+
+class TestFailureObliviousIsolation:
+    @settings(max_examples=60, deadline=None)
+    @given(size=small_sizes, offset=offsets, data=payloads)
+    def test_oob_writes_never_touch_other_units(self, size, offset, data):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        target = ctx.malloc(size, name="target")
+        sentinel = ctx.malloc(64, name="sentinel")
+        canary = bytes((i * 7 + 3) % 256 for i in range(64))
+        ctx.mem.write(sentinel, canary)
+        ctx.mem.write(target + offset, data)
+        assert ctx.mem.read(sentinel, 64) == canary
+
+    @settings(max_examples=60, deadline=None)
+    @given(size=small_sizes, offset=offsets, length=st.integers(min_value=1, max_value=32))
+    def test_oob_reads_never_fault_and_have_requested_length(self, size, offset, length):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        target = ctx.malloc(size, name="target")
+        data = ctx.mem.read(target + offset, length)
+        assert len(data) == length
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=small_sizes, data=payloads)
+    def test_heap_metadata_survives_any_single_overflow(self, size, data):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        buf = ctx.malloc(size)
+        ctx.mem.write(buf + size, data)
+        ctx.heap.verify_heap()  # must not raise
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=small_sizes, data=payloads)
+    def test_return_slot_survives_any_single_overflow(self, size, data):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        with ctx.stack_frame("victim"):
+            buf = ctx.stack_buffer("buf", size)
+            ctx.seal_frame()
+            ctx.mem.write(buf + size, data)
+        # Exiting the with block verifies the return slot; no exception means intact.
+
+
+class TestBoundsCheckNeverSilent:
+    @settings(max_examples=60, deadline=None)
+    @given(size=small_sizes, offset=offsets, data=payloads)
+    def test_every_invalid_write_raises(self, size, offset, data):
+        ctx = MemoryContext(BoundsCheckPolicy())
+        buf = ctx.malloc(size)
+        invalid = offset < 0 or offset + len(data) > size
+        try:
+            ctx.mem.write(buf + offset, data)
+            raised = False
+        except (BoundsCheckViolation, UseAfterFree):
+            raised = True
+        assert raised == invalid
+
+
+class TestPolicyEquivalenceInBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(size=small_sizes, data=payloads)
+    def test_in_bounds_writes_read_back_identically(self, size, data):
+        data = data[:size]
+        images = []
+        for policy_cls in (StandardPolicy, BoundsCheckPolicy, FailureObliviousPolicy):
+            ctx = MemoryContext(policy_cls())
+            buf = ctx.malloc(size)
+            ctx.mem.write(buf, data)
+            images.append(ctx.mem.read(buf, len(data)))
+        assert images[0] == images[1] == images[2] == data
+
+
+class TestManufactureProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=512))
+    def test_sequence_is_deterministic(self, count):
+        first = ManufacturedValueSequence()
+        second = ManufacturedValueSequence()
+        assert [first.next_value() for _ in range(count)] == [
+            second.next_value() for _ in range(count)
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=512))
+    def test_values_are_bytes(self, count):
+        seq = ManufacturedValueSequence()
+        assert all(0 <= seq.next_byte() <= 255 for _ in range(count))
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=128), min_size=1, max_size=40))
+    def test_live_allocations_never_overlap(self, sizes):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        units = [ctx.malloc(size).referent for size in sizes]
+        spans = sorted((unit.base, unit.end) for unit in units)
+        for (base_a, end_a), (base_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= base_b
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=2, max_size=20),
+        free_every=st.integers(min_value=2, max_value=5),
+    )
+    def test_malloc_free_cycles_keep_heap_consistent(self, sizes, free_every):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        live = []
+        for index, size in enumerate(sizes):
+            live.append(ctx.malloc(size))
+            if index % free_every == 0 and live:
+                ctx.free(live.pop(0))
+        ctx.heap.verify_heap()
+        spans = sorted((p.referent.base, p.referent.end) for p in live)
+        for (base_a, end_a), (base_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= base_b

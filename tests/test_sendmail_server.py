@@ -1,0 +1,126 @@
+"""Tests for the Sendmail reimplementation (paper §4.4)."""
+
+import pytest
+
+from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
+from repro.errors import RequestOutcome
+from repro.servers.base import Request
+from repro.servers.sendmail import PRESCAN_BUFFER_SIZE, SendmailServer
+from repro.workloads.attacks import sendmail_attack_address, sendmail_attack_request
+
+
+def make_sendmail(policy_cls, **config):
+    server = SendmailServer(policy_cls, config=config)
+    boot = server.start()
+    return server, boot
+
+
+def receive_request(sender=b"peer@example.org", recipient=b"user@localhost", body=b"hello"):
+    return Request(kind="receive", payload={"sender": sender, "recipient": recipient, "body": body})
+
+
+class TestBenignBehaviour:
+    def test_receive_delivers_to_local_user(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        result = server.process(receive_request())
+        assert result.outcome is RequestOutcome.SERVED
+        assert len(server.delivered) == 1
+        assert server.delivered[0]["body"] == b"hello"
+
+    def test_receive_unknown_user_rejected(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        result = server.process(receive_request(recipient=b"nobody@localhost"))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+
+    def test_send_queues_for_relay(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        result = server.process(
+            Request(kind="send", payload={"sender": b"user@localhost",
+                                          "recipient": b"peer@example.org",
+                                          "body": b"outbound"})
+        )
+        assert result.outcome is RequestOutcome.SERVED
+        assert len(server.queued) == 1
+
+    def test_large_body_round_trips_through_spool(self):
+        # SMTP message bodies are text; the spool is line-oriented and not
+        # NUL-transparent, exactly like the original.
+        body = (b"The quick brown fox jumps over the lazy dog. " * 100)[:4096]
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        server.process(receive_request(body=body))
+        assert server.delivered[0]["body"] == body
+
+    def test_long_legitimate_address_is_rejected_not_fatal(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        long_sender = b"x" * (PRESCAN_BUFFER_SIZE * 2) + b"@example.org"
+        result = server.process(receive_request(sender=long_sender))
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+        assert server.alive
+
+    def test_explicit_wakeup_request(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        result = server.process(Request(kind="wakeup"))
+        assert result.outcome is RequestOutcome.SERVED
+
+
+class TestWakeupError:
+    """§4.4.4: Sendmail commits a memory error every time the daemon wakes up."""
+
+    def test_bounds_check_build_is_unusable(self):
+        _, boot = make_sendmail(BoundsCheckPolicy)
+        assert boot.outcome is RequestOutcome.TERMINATED_BY_CHECK
+
+    def test_standard_build_tolerates_the_benign_error(self):
+        _, boot = make_sendmail(StandardPolicy)
+        assert boot.outcome is RequestOutcome.SERVED
+
+    def test_failure_oblivious_logs_a_steady_stream_of_errors(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        for _ in range(5):
+            server.process(receive_request())
+        sites = server.ctx.error_log.count_by_site()
+        assert sites["sendmail.daemon_wakeup"] >= 6  # boot + one per request
+
+    def test_wakeup_can_be_disabled_for_experiments(self):
+        server, _ = make_sendmail(FailureObliviousPolicy, wakeup_before_requests=False)
+        errors_at_boot = server.memory_error_count()
+        server.process(receive_request())
+        assert server.memory_error_count() == errors_at_boot
+
+
+class TestAttackBehaviour:
+    """The alternating 0xFF / backslash address (§4.4.2)."""
+
+    def test_attack_address_shape(self):
+        address = sendmail_attack_address(pairs=4)
+        assert address.startswith(b"\xff\\\xff\\")
+
+    def test_standard_crashes_on_attack(self):
+        server, _ = make_sendmail(StandardPolicy)
+        result = server.process(sendmail_attack_request())
+        assert result.outcome is RequestOutcome.CRASHED
+
+    def test_failure_oblivious_rejects_attack_as_address_too_long(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        result = server.process(sendmail_attack_request())
+        assert result.outcome is RequestOutcome.REJECTED_BY_ERROR_HANDLING
+        assert "too long" in result.response.detail
+
+    def test_failure_oblivious_continues_after_attack(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        server.process(sendmail_attack_request())
+        follow_up = server.process(receive_request())
+        assert follow_up.outcome is RequestOutcome.SERVED
+        assert len(server.delivered) == 1
+
+    def test_attack_errors_attributed_to_prescan(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        server.process(sendmail_attack_request())
+        assert server.ctx.error_log.count_by_site()["sendmail.prescan"] > 0
+
+    def test_repeated_attacks_survived(self):
+        server, _ = make_sendmail(FailureObliviousPolicy)
+        for _ in range(10):
+            result = server.process(sendmail_attack_request())
+            assert not result.fatal
+        assert server.alive

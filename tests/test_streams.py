@@ -1,0 +1,72 @@
+"""Tests for the mixed request streams used by stability and throughput runs."""
+
+import pytest
+
+from repro.servers import SERVER_CLASSES
+from repro.workloads.streams import RequestStream, mixed_stream, throughput_stream
+
+
+class TestMixedStream:
+    @pytest.mark.parametrize("server_name", sorted(SERVER_CLASSES))
+    def test_stream_has_requested_length(self, server_name):
+        stream = mixed_stream(server_name, total_requests=50, attack_every=10)
+        assert len(stream) == 50
+
+    def test_attack_injection_rate(self):
+        stream = mixed_stream("apache", total_requests=100, attack_every=10)
+        assert stream.attack_count == 9  # every 10th position except position 0
+        assert stream.legitimate_count == 91
+
+    def test_no_attacks_when_disabled(self):
+        stream = mixed_stream("apache", total_requests=30, attack_every=0)
+        assert stream.attack_count == 0
+
+    def test_deterministic_for_same_seed(self):
+        first = mixed_stream("sendmail", total_requests=40, seed=7)
+        second = mixed_stream("sendmail", total_requests=40, seed=7)
+        assert [r.kind for r in first] == [r.kind for r in second]
+
+    def test_different_seeds_differ(self):
+        first = mixed_stream("sendmail", total_requests=40, seed=7)
+        second = mixed_stream("sendmail", total_requests=40, seed=8)
+        assert [r.payload for r in first] != [r.payload for r in second] or \
+               [r.kind for r in first] != [r.kind for r in second]
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            mixed_stream("apache", total_requests=0)
+
+    def test_describe_mentions_counts(self):
+        stream = mixed_stream("apache", total_requests=20, attack_every=5)
+        assert "20 requests" in stream.describe()
+
+    def test_custom_attack_request_is_used(self):
+        from repro.servers.base import Request
+
+        marker = Request(kind="get", payload={"url": "/custom"}, is_attack=True)
+        stream = mixed_stream("apache", total_requests=20, attack_every=5, attack_request=marker)
+        attacks = [r for r in stream if r.is_attack]
+        assert all(r.payload["url"] == "/custom" for r in attacks)
+
+
+class TestThroughputStream:
+    def test_attack_fraction_roughly_respected(self):
+        stream = throughput_stream(attack_fraction=0.5, total_requests=400)
+        assert 0.35 < stream.attack_count / len(stream) < 0.65
+
+    def test_zero_fraction_means_no_attacks(self):
+        stream = throughput_stream(attack_fraction=0.0, total_requests=50)
+        assert stream.attack_count == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_stream(attack_fraction=1.5)
+
+    def test_legitimate_requests_fetch_home_page(self):
+        stream = throughput_stream(attack_fraction=0.2, total_requests=50)
+        legit = [r for r in stream if not r.is_attack]
+        assert all(r.payload["url"] == "/index.html" for r in legit)
+
+    def test_stream_iteration(self):
+        stream = RequestStream(requests=list(throughput_stream(total_requests=10)))
+        assert len(list(stream)) == 10
