@@ -21,7 +21,7 @@ from typing import Callable
 
 import pytest
 
-from repro.harness.runner import _request_factory, _reset_hook, build_server
+from repro.harness.engine import ENGINE
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
@@ -56,12 +56,13 @@ def served_request_runner(server_name: str, policy_name: str, kind: str,
     and any per-iteration state restoration are included (they are part of
     serving a request in the real system too, and identical across builds).
     """
-    server = build_server(server_name, policy_name, scale=scale)
+    profile = ENGINE.profile(server_name)
+    server = ENGINE.build_server(server_name, policy_name, scale=scale)
     boot = server.start()
     if boot.fatal:  # pragma: no cover - benign configs always boot
         raise RuntimeError(f"{server_name} failed to boot under {policy_name}")
-    factory = _request_factory(server_name, kind)
-    reset = _reset_hook(server_name, kind)
+    factory = profile.request_factory_for(kind)
+    reset = profile.reset_hook_for(kind)
     counter = {"index": 0}
 
     def run_once() -> None:

@@ -11,13 +11,13 @@ Run with:  python examples/attack_demo.py
 """
 
 from repro.analysis.security import assess_security
+from repro.harness.engine import ENGINE
 from repro.harness.report import format_security_matrix
-from repro.harness.runner import run_security_matrix
 
 
 def main() -> None:
     print("Running the documented attack against every server and build...\n")
-    cells = run_security_matrix(scale=0.25)
+    cells = ENGINE.run_security_matrix(scale=0.25)
     print(format_security_matrix(cells))
     print()
 

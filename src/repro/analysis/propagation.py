@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import RequestOutcome
-from repro.harness.runner import build_server
+from repro.harness.engine import ENGINE
 from repro.servers.base import Request, Server
 
 
@@ -76,7 +76,7 @@ def measure_propagation(
     observed and reference responses after an error are the data propagation.
     """
     # Reference run: only the legitimate requests, on a pristine server.
-    reference = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    reference = ENGINE.build_server(server_name, policy_name, plant_attack=True, scale=scale)
     reference.start()
     reference_results: Dict[int, object] = {}
     legit_positions = [i for i, request in enumerate(requests) if not request.is_attack]
@@ -85,7 +85,7 @@ def measure_propagation(
         reference_results[position] = _response_signature(result)
 
     # Observed run: the full stream, attacks included.
-    observed = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    observed = ENGINE.build_server(server_name, policy_name, plant_attack=True, scale=scale)
     observed.start()
     observed_results: Dict[int, object] = {}
     error_positions: List[int] = []

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import RequestOutcome
-from repro.harness.runner import SecurityCell, run_security_matrix
+from repro.harness.engine import ENGINE, SecurityCell
 
 
 @dataclass
@@ -58,7 +58,7 @@ def assess_security(
     the matrix itself.
     """
     if cells is None:
-        cells = run_security_matrix(servers=servers, policies=policies, scale=scale)
+        cells = ENGINE.run_security_matrix(servers=servers, policies=policies, scale=scale)
     assessments: List[SecurityAssessment] = []
     for cell in cells:
         outcomes = [cell.boot_outcome]

@@ -6,6 +6,10 @@ List the available experiments (one per paper table/figure)::
 
     python -m repro list
 
+List the registered server profiles (the pluggable experiment subjects)::
+
+    python -m repro profiles
+
 Regenerate a figure or experiment table::
 
     python -m repro run fig3
@@ -23,10 +27,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.runner import run_attack_scenario
-from repro.servers import SERVER_CLASSES
 from repro.core.policies import POLICY_NAMES
+from repro.harness.engine import ENGINE, ScenarioSpec
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.servers.profile import iter_profiles
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,6 +42,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the registered experiments")
 
+    subparsers.add_parser(
+        "profiles", help="list the registered server profiles and their figure rows"
+    )
+
     run_parser = subparsers.add_parser("run", help="run one registered experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     run_parser.add_argument("--repetitions", type=int, default=None,
@@ -48,15 +56,28 @@ def _build_parser() -> argparse.ArgumentParser:
     attack_parser = subparsers.add_parser(
         "attack", help="run the documented attack scenario against one server"
     )
-    attack_parser.add_argument("server", choices=sorted(SERVER_CLASSES))
+    attack_parser.add_argument("server", choices=ENGINE.profile_names())
     attack_parser.add_argument("--policy", choices=sorted(POLICY_NAMES),
                                default="failure-oblivious")
+    attack_parser.add_argument("--scale", type=float, default=0.25,
+                               help="workload scale factor")
     return parser
 
 
 def _command_list() -> int:
     for experiment_id in sorted(EXPERIMENTS):
         print(experiment_id)
+    return 0
+
+
+def _command_profiles() -> int:
+    for profile in iter_profiles():
+        figure = f"figure {profile.figure_number}" if profile.figure_number else "no figure"
+        rows = ", ".join(profile.figure_rows) if profile.figure_rows else "-"
+        attack = "attack" if profile.attack_request is not None else "no attack"
+        print(f"{profile.name:<20} {figure:<10} [{attack}] rows: {rows}")
+        if profile.description:
+            print(f"{'':<20} {profile.description}")
     return 0
 
 
@@ -76,7 +97,10 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_attack(args: argparse.Namespace) -> int:
-    scenario = run_attack_scenario(args.server, args.policy)
+    scenario = ENGINE.run(
+        ScenarioSpec(server=args.server, policy=args.policy,
+                     workload="attack", scale=args.scale)
+    )
     print(f"server            : {scenario.server}")
     print(f"build             : {scenario.policy}")
     print(f"boot              : {scenario.boot.outcome.value}")
@@ -94,6 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "profiles":
+        return _command_profiles()
     if args.command == "run":
         return _command_run(args)
     if args.command == "attack":

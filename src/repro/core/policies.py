@@ -136,10 +136,15 @@ class BoundlessPolicy(FailureObliviousPolicy):
 
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         self.record_event(event)
-        if len(self._store) + len(data) <= self.max_stored_bytes:
-            for i, byte in enumerate(data):
-                self._store[self._key(event, event.offset + i)] = byte
-            self.stats.stored_out_of_bounds_bytes += len(data)
+        # Overwriting an already-stored offset consumes no extra capacity and
+        # must not inflate the stored-bytes statistic, so only the offsets not
+        # yet in the table count against ``max_stored_bytes``.
+        keys = [self._key(event, event.offset + i) for i in range(len(data))]
+        new_bytes = sum(1 for key in keys if key not in self._store)
+        if len(self._store) + new_bytes <= self.max_stored_bytes:
+            for key, byte in zip(keys, data):
+                self._store[key] = byte
+            self.stats.stored_out_of_bounds_bytes += new_bytes
             return AccessDecision.discard()
         # Store full: degrade gracefully to plain failure-oblivious behaviour.
         self.stats.discarded_bytes += len(data)

@@ -31,17 +31,16 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.propagation import measure_propagation
 from repro.analysis.security import assess_security
+from repro.harness.engine import ENGINE, ScenarioSpec
 from repro.harness.report import (
     format_figure_table,
     format_security_matrix,
     format_simple_table,
 )
-from repro.harness.runner import run_performance_figure, run_security_matrix
 from repro.harness.stability import run_stability_experiment
 from repro.harness.throughput import run_throughput_experiment, throughput_ratio
 from repro.servers import SERVER_CLASSES
-from repro.workloads.attacks import attack_request_for
-from repro.workloads.benign import benign_requests_for
+from repro.servers.profile import get_profile
 from repro.workloads.streams import mixed_stream
 
 
@@ -65,19 +64,18 @@ class ExperimentOutput:
 # ---------------------------------------------------------------------------
 # Figures 2-6
 # ---------------------------------------------------------------------------
-
-_FIGURE_SERVERS = {
-    "fig2": "pine",
-    "fig3": "apache",
-    "fig4": "sendmail",
-    "fig5": "midnight-commander",
-    "fig6": "mutt",
-}
+# The figure ids and the server behind each are read off the server profiles
+# (every profile that declares a figure number gets a ``fig<N>`` experiment),
+# so adding a server with a figure adds its experiment with no edits here.
 
 
-def _run_figure(experiment_id: str, repetitions: int = 20, scale: float = 1.0) -> ExperimentOutput:
-    server_name = _FIGURE_SERVERS[experiment_id]
-    rows = run_performance_figure(server_name, repetitions=repetitions, scale=scale)
+def _run_figure(server_name: str, repetitions: int = 20, scale: float = 1.0) -> ExperimentOutput:
+    profile = get_profile(server_name)
+    rows = ENGINE.run(
+        ScenarioSpec(server=server_name, workload="performance",
+                     repetitions=repetitions, scale=scale)
+    )
+    experiment_id = f"fig{profile.figure_number}"
     table = format_figure_table(rows)
     notes = [
         "Times are from the simulated substrate, not the paper's testbed;",
@@ -85,7 +83,7 @@ def _run_figure(experiment_id: str, repetitions: int = 20, scale: float = 1.0) -
     ]
     return ExperimentOutput(
         experiment_id=experiment_id,
-        title=f"Request processing times for {server_name} (paper Figure {experiment_id[3:]})",
+        title=f"Request processing times for {server_name} (paper Figure {profile.figure_number})",
         table=table,
         data=rows,
         notes=notes,
@@ -98,7 +96,7 @@ def _run_figure(experiment_id: str, repetitions: int = 20, scale: float = 1.0) -
 
 
 def _run_security(repetitions: int = 1, scale: float = 0.25) -> ExperimentOutput:
-    cells = run_security_matrix(scale=scale)
+    cells = ENGINE.run_security_matrix(scale=scale)
     assessments = assess_security(cells=cells)
     table = format_security_matrix(cells)
     verdict_rows = [
@@ -218,7 +216,7 @@ def _run_stability(
 
 def _run_variants(scale: float = 0.25) -> ExperimentOutput:
     policies = ("failure-oblivious", "boundless", "redirect")
-    cells = run_security_matrix(policies=policies, scale=scale)
+    cells = ENGINE.run_security_matrix(policies=policies, scale=scale)
     table = format_security_matrix(
         cells, title="§5.1 variants: boundless memory blocks and redirect"
     )
@@ -281,18 +279,32 @@ def _run_propagation(total_requests: int = 40, attack_every: int = 8, scale: flo
 # Registry
 # ---------------------------------------------------------------------------
 
+def _figure_runner(server_name: str) -> Callable[..., ExperimentOutput]:
+    def run(**kwargs) -> ExperimentOutput:
+        return _run_figure(server_name, **kwargs)
+
+    return run
+
+
 EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
-    "fig2": lambda **kw: _run_figure("fig2", **kw),
-    "fig3": lambda **kw: _run_figure("fig3", **kw),
-    "fig4": lambda **kw: _run_figure("fig4", **kw),
-    "fig5": lambda **kw: _run_figure("fig5", **kw),
-    "fig6": lambda **kw: _run_figure("fig6", **kw),
-    "tab-security": _run_security,
-    "exp-throughput": _run_throughput,
-    "exp-stability": _run_stability,
-    "exp-variants": _run_variants,
-    "exp-propagation": _run_propagation,
+    f"fig{get_profile(name).figure_number}": _figure_runner(name)
+    for name in SERVER_CLASSES
+    if get_profile(name).figure_number is not None
 }
+EXPERIMENTS.update(
+    {
+        "tab-security": _run_security,
+        "exp-throughput": _run_throughput,
+        "exp-stability": _run_stability,
+        "exp-variants": _run_variants,
+        "exp-propagation": _run_propagation,
+    }
+)
+
+
+def register_experiment(experiment_id: str, runner: Callable[..., ExperimentOutput]) -> None:
+    """Register (or replace) an experiment; plugins use this to add tables."""
+    EXPERIMENTS[experiment_id] = runner
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutput:

@@ -1,42 +1,55 @@
-"""Building servers and running the paper's per-server experiments.
+"""Backwards-compatible entry points over the experiment engine.
 
-Two experiment shapes are provided:
+The experiment shapes live in :mod:`repro.harness.engine` (see
+:class:`~repro.harness.engine.ExperimentEngine` and
+:class:`~repro.harness.engine.ScenarioSpec`); server specifics live in the
+:class:`~repro.servers.profile.ServerProfile` registry.  This module keeps
+the original function signatures working as thin shims so existing callers
+(tests, benchmarks, examples, downstream scripts) need no changes:
 
 * :func:`run_performance_figure` — the benign-workload timing experiments of
-  Figures 2-6: each request kind measured under the Standard build and the
-  Failure Oblivious build, with the slowdown ratio.
+  Figures 2-6.
 * :func:`run_security_matrix` / :func:`run_attack_scenario` — the
-  security-and-resilience experiments of §4.2.2-§4.6.2: boot each build with
-  the documented error trigger planted, deliver the attack, then check whether
-  the server still serves legitimate follow-up requests.
+  security-and-resilience experiments of §4.2.2-§4.6.2.
+* :func:`build_server` / :func:`benchmark_config` — server construction under
+  a named policy with the profile's benchmark configuration.
+
+New code should prefer the engine API directly::
+
+    from repro.harness.engine import ENGINE, ScenarioSpec
+    rows = ENGINE.run(ScenarioSpec(server="pine", workload="performance"))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.policies import POLICY_NAMES
-from repro.errors import RequestOutcome, RequestResult
-from repro.harness.timing import TimingResult, measure_paired, measure_request_time, slowdown
+from repro.harness.engine import (
+    ENGINE,
+    FigureRow,
+    ScenarioResult,
+    ScenarioSpec,
+    SecurityCell,
+)
 from repro.servers import SERVER_CLASSES
 from repro.servers.base import Request, Server
-from repro.workloads.attacks import attack_config_for, attack_request_for
-from repro.workloads.benign import (
-    FIGURE_ROWS,
-    benign_requests_for,
-    midnight_commander_vfs_files,
-    mutt_benchmark_folders,
-    pine_benchmark_mailbox,
-)
+from repro.servers.profile import get_profile
 
-#: Paper figure number for each server's request-time table.
+__all__ = [
+    "FIGURE_NUMBERS",
+    "FigureRow",
+    "ScenarioResult",
+    "SecurityCell",
+    "benchmark_config",
+    "build_server",
+    "run_attack_scenario",
+    "run_performance_figure",
+    "run_security_matrix",
+]
+
+#: Paper figure number for each server's request-time table (from the profiles).
 FIGURE_NUMBERS = {
-    "pine": 2,
-    "apache": 3,
-    "sendmail": 4,
-    "midnight-commander": 5,
-    "mutt": 6,
+    name: get_profile(name).figure_number for name in SERVER_CLASSES
 }
 
 
@@ -48,19 +61,7 @@ def benchmark_config(server_name: str, scale: float = 1.0) -> Dict[str, object]:
     830 KByte download) can be requested with a larger scale at the cost of
     longer runs.
     """
-    if server_name == "pine":
-        return {"mailbox": pine_benchmark_mailbox(max(int(64 * scale), 32))}
-    if server_name == "mutt":
-        return {"folders": mutt_benchmark_folders(max(int(64 * scale), 32))}
-    if server_name == "midnight-commander":
-        return {
-            "vfs_files": midnight_commander_vfs_files(
-                directory_bytes=int(2 * 1024 * 1024 * scale),
-                file_count=16,
-                delete_file_bytes=int(256 * 1024 * scale),
-            )
-        }
-    return {}
+    return get_profile(server_name).build_config(scale)
 
 
 def build_server(
@@ -76,74 +77,27 @@ def build_server(
     error trigger (poisoned mailbox, vulnerable rewrite rule, attack startup
     folder, ...).
     """
-    if server_name not in SERVER_CLASSES:
-        raise KeyError(f"unknown server {server_name!r}; expected one of {sorted(SERVER_CLASSES)}")
-    if policy_name not in POLICY_NAMES:
-        raise KeyError(f"unknown policy {policy_name!r}; expected one of {sorted(POLICY_NAMES)}")
-    merged: Dict[str, object] = benchmark_config(server_name, scale=scale)
-    if plant_attack:
-        merged.update(attack_config_for(server_name))
-    if config:
-        merged.update(config)
-    server_cls = SERVER_CLASSES[server_name]
-    policy_cls = POLICY_NAMES[policy_name]
-    return server_cls(policy_cls, config=merged)
-
-
-# ---------------------------------------------------------------------------
-# Performance figures (Figures 2-6)
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class FigureRow:
-    """One row of a request-time figure: a request kind under two builds."""
-
-    server: str
-    request_kind: str
-    baseline: TimingResult
-    failure_oblivious: TimingResult
-
-    @property
-    def slowdown(self) -> float:
-        """Failure-oblivious time divided by baseline time (the paper's column)."""
-        return slowdown(self.baseline, self.failure_oblivious)
+    return ENGINE.build_server(
+        server_name, policy_name, config=config, plant_attack=plant_attack, scale=scale
+    )
 
 
 def _request_factory(server_name: str, kind: str) -> Callable[[int], Request]:
-    """Build the per-repetition request factory for one figure row."""
-
-    def factory(index: int) -> Request:
-        if server_name == "midnight-commander":
-            return benign_requests_for(server_name, kind, 1, unique_suffix=index)[0]
-        return benign_requests_for(server_name, kind, 1)[0]
-
-    return factory
+    """Deprecated shim: use ``get_profile(name).request_factory_for(kind)``."""
+    return get_profile(server_name).request_factory_for(kind)
 
 
 def _reset_hook(server_name: str, kind: str) -> Optional[Callable[[Server, int], None]]:
-    """State-restoring hook run before each repetition, where a request consumes state."""
-    if server_name == "midnight-commander" and kind == "delete":
+    """Deprecated shim: use ``get_profile(name).reset_hook_for(kind)``."""
+    return get_profile(server_name).reset_hook_for(kind)
 
-        def restore_deleted_file(server: Server, index: int) -> None:
-            server.vfs.add_file("/home/user/big-download.iso", b"\xab" * (64 * 1024))
 
-        return restore_deleted_file
-    if server_name == "midnight-commander" and kind == "move":
-
-        def ensure_move_source(server: Server, index: int) -> None:
-            # The generated move requests alternate direction; make sure the
-            # expected source directory exists even after a failed repetition.
-            source = "/home/user/data" if index % 2 == 0 else "/home/user/data_moved"
-            if not server.vfs.exists(source):
-                other = "/home/user/data_moved" if index % 2 == 0 else "/home/user/data"
-                for path in server.vfs.tree(other):
-                    relative = path[len(other):].lstrip("/")
-                    server.vfs.files[f"{source}/{relative}"] = server.vfs.files.pop(path)
-                server.vfs.add_directory(source)
-
-        return ensure_move_source
-    return None
+def _follow_up_requests(server_name: str) -> List[Request]:
+    """Deprecated shim: use ``get_profile(name).make_follow_ups()``."""
+    follow_ups = get_profile(server_name).make_follow_ups()
+    if not follow_ups:
+        raise KeyError(f"no follow-up requests defined for {server_name!r}")
+    return follow_ups
 
 
 def run_performance_figure(
@@ -154,124 +108,18 @@ def run_performance_figure(
     treatment_policy: str = "failure-oblivious",
     kinds: Optional[Sequence[str]] = None,
 ) -> List[FigureRow]:
-    """Regenerate one of Figures 2-6 for ``server_name``.
-
-    A fresh server is built and started for every (request kind, policy) cell
-    so that no state leaks between measurements, mirroring the paper's
-    per-request instrumentation.
-    """
-    rows: List[FigureRow] = []
-    row_kinds = list(kinds) if kinds is not None else FIGURE_ROWS[server_name]
-    # Whole-process warm-up: run a few requests once so that neither build's
-    # first measured cell pays one-time interpreter and allocator start-up
-    # costs (the analogue of the paper measuring steady-state servers).
-    warm_server = build_server(server_name, baseline_policy, scale=scale)
-    if not warm_server.start().fatal and row_kinds:
-        warm_factory = _request_factory(server_name, row_kinds[0])
-        warm_reset = _reset_hook(server_name, row_kinds[0])
-        for warm_index in range(3):
-            if warm_reset is not None:
-                warm_reset(warm_server, warm_index)
-            warm_server.process(warm_factory(warm_index))
-    for kind in row_kinds:
-        servers: Dict[str, Server] = {}
-        for policy_name in (baseline_policy, treatment_policy):
-            server = build_server(server_name, policy_name, scale=scale)
-            boot = server.start()
-            if not boot.fatal:
-                servers[policy_name] = server
-        timings = measure_paired(
-            servers,
-            _request_factory(server_name, kind),
+    """Regenerate one of Figures 2-6 for ``server_name`` (engine shim)."""
+    return ENGINE.run(
+        ScenarioSpec(
+            server=server_name,
+            policy=treatment_policy,
+            workload="performance",
+            scale=scale,
+            baseline_policy=baseline_policy,
+            kinds=tuple(kinds) if kinds is not None else None,
             repetitions=repetitions,
-            reset=_reset_hook(server_name, kind),
-            label=kind,
         )
-        for policy_name in (baseline_policy, treatment_policy):
-            if policy_name not in timings:
-                timings[policy_name] = TimingResult(
-                    label=f"{kind} ({policy_name}: failed to boot)"
-                )
-        rows.append(
-            FigureRow(
-                server=server_name,
-                request_kind=kind,
-                baseline=timings[baseline_policy],
-                failure_oblivious=timings[treatment_policy],
-            )
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Security and resilience (the §4.x.2 sections)
-# ---------------------------------------------------------------------------
-
-#: Legitimate follow-up requests issued after the attack to check that the
-#: server still serves its users (the paper's acceptability criterion).
-def _follow_up_requests(server_name: str) -> List[Request]:
-    if server_name == "pine":
-        return [Request(kind="read", payload={"index": 0}), Request(kind="compose")]
-    if server_name == "apache":
-        return [Request(kind="get", payload={"url": "/index.html"})]
-    if server_name == "sendmail":
-        return benign_requests_for("sendmail", "recv_small", 1)
-    if server_name == "midnight-commander":
-        return [Request(kind="mkdir", payload={"path": "/home/user/after-attack"})]
-    if server_name == "mutt":
-        return [
-            Request(kind="open_folder", payload={"folder": b"INBOX"}),
-            Request(kind="read", payload={"index": 0}),
-        ]
-    raise KeyError(f"no follow-up requests defined for {server_name!r}")
-
-
-@dataclass
-class ScenarioResult:
-    """Outcome of one attack scenario (one server under one policy)."""
-
-    server: str
-    policy: str
-    boot: RequestResult
-    attack: Optional[RequestResult]
-    follow_ups: List[RequestResult] = field(default_factory=list)
-
-    @property
-    def survived_attack(self) -> bool:
-        """True if the server was still alive after boot and the attack."""
-        if self.boot.fatal:
-            return False
-        return self.attack is None or not self.attack.fatal
-
-    @property
-    def continued_service(self) -> bool:
-        """True if every legitimate follow-up request was served successfully."""
-        return bool(self.follow_ups) and all(
-            result.outcome is RequestOutcome.SERVED for result in self.follow_ups
-        )
-
-    @property
-    def vulnerable(self) -> bool:
-        """True if the attack crashed, exploited, or hung the server."""
-        outcomes = [self.boot.outcome]
-        if self.attack is not None:
-            outcomes.append(self.attack.outcome)
-        return any(
-            outcome in (RequestOutcome.CRASHED, RequestOutcome.EXPLOITED, RequestOutcome.HUNG)
-            for outcome in outcomes
-        )
-
-
-@dataclass
-class SecurityCell:
-    """One cell of the security matrix: a compact view of a scenario result."""
-
-    server: str
-    policy: str
-    boot_outcome: RequestOutcome
-    attack_outcome: Optional[RequestOutcome]
-    continued_service: bool
-    memory_errors_logged: int
+    )
 
 
 def run_attack_scenario(
@@ -280,21 +128,8 @@ def run_attack_scenario(
     scale: float = 0.25,
 ) -> ScenarioResult:
     """Boot with the error trigger planted, attack, then issue follow-ups."""
-    server = build_server(server_name, policy_name, plant_attack=True, scale=scale)
-    boot = server.start()
-    attack: Optional[RequestResult] = None
-    follow_ups: List[RequestResult] = []
-    if server.alive:
-        attack = server.process(attack_request_for(server_name))
-    if server.alive:
-        for request in _follow_up_requests(server_name):
-            follow_ups.append(server.process(request))
-    return ScenarioResult(
-        server=server_name,
-        policy=policy_name,
-        boot=boot,
-        attack=attack,
-        follow_ups=follow_ups,
+    return ENGINE.run(
+        ScenarioSpec(server=server_name, policy=policy_name, workload="attack", scale=scale)
     )
 
 
@@ -304,23 +139,4 @@ def run_security_matrix(
     scale: float = 0.25,
 ) -> List[SecurityCell]:
     """Run the attack scenario for every (server, policy) combination."""
-    cells: List[SecurityCell] = []
-    for server_name in (servers if servers is not None else sorted(SERVER_CLASSES)):
-        for policy_name in policies:
-            scenario = run_attack_scenario(server_name, policy_name, scale=scale)
-            total_errors = (
-                len(scenario.boot.memory_errors)
-                + (len(scenario.attack.memory_errors) if scenario.attack else 0)
-                + sum(len(result.memory_errors) for result in scenario.follow_ups)
-            )
-            cells.append(
-                SecurityCell(
-                    server=server_name,
-                    policy=policy_name,
-                    boot_outcome=scenario.boot.outcome,
-                    attack_outcome=scenario.attack.outcome if scenario.attack else None,
-                    continued_service=scenario.continued_service,
-                    memory_errors_logged=total_errors,
-                )
-            )
-    return cells
+    return ENGINE.run_security_matrix(servers=servers, policies=policies, scale=scale)

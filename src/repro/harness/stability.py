@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import RequestOutcome
-from repro.harness.runner import build_server, _follow_up_requests
+from repro.harness.engine import ENGINE
 from repro.servers.base import Server
 from repro.workloads.streams import RequestStream, mixed_stream
 
@@ -64,17 +64,21 @@ def run_stability_experiment(
     seed: int = 20040101,
     scale: float = 0.25,
     stream: Optional[RequestStream] = None,
+    config: Optional[Dict[str, object]] = None,
 ) -> StabilityResult:
     """Run a long mixed workload against one build of one server.
 
     ``restart_on_death`` models the obvious operational response for the
     Standard and Bounds Check builds (a monitor that restarts the server);
-    the failure-oblivious build should never need it.
+    the failure-oblivious build should never need it.  ``config`` entries are
+    merged over the benchmark and attack configuration, as everywhere else.
     """
     workload = stream if stream is not None else mixed_stream(
         server_name, total_requests=total_requests, attack_every=attack_every, seed=seed
     )
-    server: Server = build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    server: Server = ENGINE.build_server(
+        server_name, policy_name, config=config, plant_attack=True, scale=scale
+    )
     boot = server.start()
     server_deaths = 1 if boot.fatal else 0
     restarts = 0
@@ -92,7 +96,7 @@ def run_stability_experiment(
     # (e.g. Mutt re-opens the INBOX after the startup folder was rejected).
     # These requests are not counted in the workload statistics.
     if server.alive:
-        for setup_request in _follow_up_requests(server_name):
+        for setup_request in ENGINE.profile(server_name).make_follow_ups():
             server.process(setup_request)
 
     legitimate_served = 0

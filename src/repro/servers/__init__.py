@@ -23,13 +23,25 @@ constructed with a policy factory (the "compiler choice"), booted with
 """
 
 from repro.servers.base import Request, Response, Server, ServerError
+from repro.servers.profile import (
+    PROFILES,
+    ServerProfile,
+    get_profile,
+    iter_profiles,
+    profile_names,
+    register_profile,
+    unregister_profile,
+)
 from repro.servers.pine import PineServer
 from repro.servers.apache import ApacheServer, ChildProcessPool
 from repro.servers.sendmail import SendmailServer
 from repro.servers.midnight_commander import MidnightCommanderServer
 from repro.servers.mutt import MuttServer
 
-#: Registry used by the harness to iterate over every evaluated server.
+#: The five servers of the paper's evaluation.  Experiment code that wants
+#: *every* registered server (including plugins) should consult
+#: :data:`repro.servers.profile.PROFILES` instead; this mapping is the stable
+#: paper-scope registry the default experiment sweeps iterate over.
 SERVER_CLASSES = {
     "pine": PineServer,
     "apache": ApacheServer,
@@ -43,6 +55,13 @@ __all__ = [
     "Response",
     "Server",
     "ServerError",
+    "ServerProfile",
+    "PROFILES",
+    "get_profile",
+    "iter_profiles",
+    "profile_names",
+    "register_profile",
+    "unregister_profile",
     "PineServer",
     "ApacheServer",
     "ChildProcessPool",

@@ -283,3 +283,49 @@ class ChildProcessPool:
     def total_memory_errors(self) -> int:
         """Memory errors recorded across all current children."""
         return sum(child.memory_error_count() for child in self.children)
+
+
+# ---------------------------------------------------------------------------
+# Experiment profile (Figure 3 and §4.3.2)
+# ---------------------------------------------------------------------------
+# Workload builders are imported lazily: the workload modules import this
+# module at import time (for the rewrite-rule constants).
+
+from repro.servers.profile import ServerProfile, register_profile  # noqa: E402
+
+
+def _benign_request(kind: str, index: int) -> Request:
+    from repro.workloads.benign import apache_requests
+
+    return apache_requests(kind, 1)[0]
+
+
+def _attack_config() -> Dict[str, object]:
+    from repro.workloads.attacks import apache_vulnerable_config
+
+    return apache_vulnerable_config()
+
+
+def _attack_request() -> Request:
+    from repro.workloads.attacks import apache_attack_request
+
+    return apache_attack_request()
+
+
+def _follow_ups() -> List[Request]:
+    return [Request(kind="get", payload={"url": "/index.html"})]
+
+
+PROFILE = register_profile(
+    ServerProfile(
+        name="apache",
+        server_cls=ApacheServer,
+        figure_rows=("small", "large"),
+        figure_number=3,
+        request_factory=_benign_request,
+        attack_config=_attack_config,
+        attack_request=_attack_request,
+        follow_ups=_follow_ups,
+        description="Apache 2.0.47 mod_rewrite capture-offset stack overflow (§4.3)",
+    )
+)

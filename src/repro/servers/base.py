@@ -183,6 +183,19 @@ class Server(ABC):
         self.history.append(result)
         return result
 
+    def stop(self) -> None:
+        """Shut the server down (the orderly analogue of killing the process).
+
+        Experiment code calls this once a measurement is finished so warm-up
+        and per-cell servers do not linger as live processes for the rest of a
+        run.  The memory context (and its error log) stays readable for
+        post-mortem introspection; processing further requests is refused the
+        same way it is after a crash.  Stopping an already-dead server is a
+        no-op.
+        """
+        self.alive = False
+        self.started = False
+
     def restart(self) -> RequestResult:
         """Re-create the process image and boot again (the monitor/reboot model).
 

@@ -338,3 +338,72 @@ class MidnightCommanderServer(Server):
         ctx.mem.write_byte(cursor, 0)
         ctx.free(buf)
         ctx.set_site("")
+
+
+# ---------------------------------------------------------------------------
+# Experiment profile (Figure 5 and §4.5.2)
+# ---------------------------------------------------------------------------
+# Workload builders are imported lazily: the workload modules import this
+# module at import time (for the link-name buffer constant).
+
+from repro.servers.profile import ServerProfile, register_profile  # noqa: E402
+
+
+def _benchmark_config(scale: float) -> Dict[str, object]:
+    from repro.workloads.benign import midnight_commander_vfs_files
+
+    return {
+        "vfs_files": midnight_commander_vfs_files(
+            directory_bytes=int(2 * 1024 * 1024 * scale),
+            file_count=16,
+            delete_file_bytes=int(256 * 1024 * scale),
+        )
+    }
+
+
+def _benign_request(kind: str, index: int) -> Request:
+    from repro.workloads.benign import midnight_commander_requests
+
+    return midnight_commander_requests(kind, 1, unique_suffix=index)[0]
+
+
+def _attack_request() -> Request:
+    from repro.workloads.attacks import midnight_commander_attack_request
+
+    return midnight_commander_attack_request()
+
+
+def _follow_ups() -> List[Request]:
+    return [Request(kind="mkdir", payload={"path": "/home/user/after-attack"})]
+
+
+def _restore_deleted_file(server: Server, index: int) -> None:
+    server.vfs.add_file("/home/user/big-download.iso", b"\xab" * (64 * 1024))
+
+
+def _ensure_move_source(server: Server, index: int) -> None:
+    # The generated move requests alternate direction; make sure the expected
+    # source directory exists even after a failed repetition.
+    source = "/home/user/data" if index % 2 == 0 else "/home/user/data_moved"
+    if not server.vfs.exists(source):
+        other = "/home/user/data_moved" if index % 2 == 0 else "/home/user/data"
+        for path in server.vfs.tree(other):
+            relative = path[len(other):].lstrip("/")
+            server.vfs.files[f"{source}/{relative}"] = server.vfs.files.pop(path)
+        server.vfs.add_directory(source)
+
+
+PROFILE = register_profile(
+    ServerProfile(
+        name="midnight-commander",
+        server_cls=MidnightCommanderServer,
+        figure_rows=("copy", "move", "mkdir", "delete"),
+        figure_number=5,
+        benchmark_config=_benchmark_config,
+        request_factory=_benign_request,
+        reset_hooks={"delete": _restore_deleted_file, "move": _ensure_move_source},
+        attack_request=_attack_request,
+        follow_ups=_follow_ups,
+        description="Midnight Commander 4.5.55 tgz symlink strcat overflow (§4.5)",
+    )
+)

@@ -297,3 +297,59 @@ def utf8_to_utf7(ctx, u8: FatPointer, u8len: int) -> Optional[FatPointer]:
     p = p + 1
     buf = ctx.realloc(buf, p - buf, name="utf7_buf")
     return buf
+
+
+# ---------------------------------------------------------------------------
+# Experiment profile (Figure 6 and §4.6.2)
+# ---------------------------------------------------------------------------
+# Workload builders are imported lazily to keep the servers -> workloads
+# import graph acyclic (the workload modules import server modules).
+
+from repro.servers.profile import ServerProfile, register_profile  # noqa: E402
+
+
+def _benchmark_config(scale: float) -> Dict[str, object]:
+    from repro.workloads.benign import mutt_benchmark_folders
+
+    return {"folders": mutt_benchmark_folders(max(int(64 * scale), 32))}
+
+
+def _benign_request(kind: str, index: int) -> Request:
+    from repro.workloads.benign import mutt_requests
+
+    return mutt_requests(kind, 1)[0]
+
+
+def _attack_config() -> Dict[str, object]:
+    from repro.workloads.attacks import mutt_attack_config
+
+    return mutt_attack_config()
+
+
+def _attack_request() -> Request:
+    from repro.workloads.attacks import mutt_attack_request
+
+    return mutt_attack_request()
+
+
+def _follow_ups() -> List[Request]:
+    return [
+        Request(kind="open_folder", payload={"folder": b"INBOX"}),
+        Request(kind="read", payload={"index": 0}),
+    ]
+
+
+PROFILE = register_profile(
+    ServerProfile(
+        name="mutt",
+        server_cls=MuttServer,
+        figure_rows=("read", "move"),
+        figure_number=6,
+        benchmark_config=_benchmark_config,
+        request_factory=_benign_request,
+        attack_config=_attack_config,
+        attack_request=_attack_request,
+        follow_ups=_follow_ups,
+        description="Mutt 1.4 utf8_to_utf7 heap overflow (§4.6, Figure 1)",
+    )
+)

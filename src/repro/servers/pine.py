@@ -245,3 +245,57 @@ class PineServer(Server):
             ctx.mem.write(spool, chunk)
         ctx.free(spool)
         ctx.set_site("")
+
+
+# ---------------------------------------------------------------------------
+# Experiment profile (Figure 2 and §4.2.2)
+# ---------------------------------------------------------------------------
+# The workload builders are imported lazily inside these functions because the
+# workload modules import server modules at import time (for the documented
+# buffer-size constants); a module-level import here would be circular.
+
+from repro.servers.profile import ServerProfile, register_profile  # noqa: E402
+
+
+def _benchmark_config(scale: float) -> Dict[str, object]:
+    from repro.workloads.benign import pine_benchmark_mailbox
+
+    return {"mailbox": pine_benchmark_mailbox(max(int(64 * scale), 32))}
+
+
+def _benign_request(kind: str, index: int) -> Request:
+    from repro.workloads.benign import pine_requests
+
+    return pine_requests(kind, 1)[0]
+
+
+def _attack_config() -> Dict[str, object]:
+    from repro.workloads.attacks import pine_poisoned_mailbox
+
+    return {"mailbox": pine_poisoned_mailbox()}
+
+
+def _attack_request() -> Request:
+    # The error trigger lives in the poisoned mailbox planted at boot;
+    # re-listing the index runs the vulnerable quoting path over it again.
+    return Request(kind="list", payload={}, is_attack=True)
+
+
+def _follow_ups() -> List[Request]:
+    return [Request(kind="read", payload={"index": 0}), Request(kind="compose")]
+
+
+PROFILE = register_profile(
+    ServerProfile(
+        name="pine",
+        server_cls=PineServer,
+        figure_rows=("read", "compose", "move"),
+        figure_number=2,
+        benchmark_config=_benchmark_config,
+        request_factory=_benign_request,
+        attack_config=_attack_config,
+        attack_request=_attack_request,
+        follow_ups=_follow_ups,
+        description="Pine 4.44 From-field quoting heap overflow (§4.2)",
+    )
+)

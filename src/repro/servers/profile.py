@@ -1,0 +1,166 @@
+"""Declarative server profiles: the pluggable surface of the experiment engine.
+
+Historically the harness hard-coded every (server, experiment) pairing as
+``if/elif`` chains, so adding a sixth server meant editing the harness core.
+A :class:`ServerProfile` inverts that: each server module declares — next to
+the server class itself — everything the paper's experiment shapes need:
+
+* ``benchmark_config`` — how to size a benign configuration for repeated
+  benchmark requests (Figures 2-6);
+* ``figure_rows`` / ``figure_number`` — the request kinds that appear as rows
+  of the server's request-time figure, and which paper figure that is;
+* ``request_factory`` / ``reset_hooks`` — how to build one benign request of a
+  given kind, and how to restore any state a request consumes;
+* ``attack_config`` / ``attack_request`` — how to plant the documented error
+  trigger and how to deliver the attack (§4.x.2);
+* ``follow_ups`` — the legitimate requests issued after an attack to check
+  the server still serves its users (the paper's acceptability criterion).
+
+Profiles register themselves in a process-wide registry; the experiment
+engine (:mod:`repro.harness.engine`) looks servers up there at run time, so a
+new server — including one defined outside this package — plugs into every
+experiment shape with zero harness edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Type
+
+from repro.servers.base import Request, Server
+
+#: ``scale -> configuration dict`` benign benchmark configuration builder.
+ConfigBuilder = Callable[[float], Dict[str, object]]
+
+#: ``repetition index -> Request`` factory for one request kind.
+RequestFactory = Callable[[int], Request]
+
+#: Hook run before each repetition to restore state the request consumes.
+ResetHook = Callable[[Server, int], None]
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Everything the experiment engine needs to run one server.
+
+    Only ``name`` and ``server_cls`` are mandatory; a profile that omits the
+    optional pieces simply cannot run the experiment shapes that need them
+    (e.g. no ``attack_request`` means no attack scenario).
+    """
+
+    #: Registry key, e.g. ``"pine"`` (also used on the command line).
+    name: str
+    #: The :class:`~repro.servers.base.Server` subclass to instantiate.
+    server_cls: Type[Server]
+    #: Request kinds forming the rows of the server's request-time figure.
+    figure_rows: Tuple[str, ...] = ()
+    #: Paper figure number for the request-time table (None for non-paper servers).
+    figure_number: Optional[int] = None
+    #: Builds the benign benchmark configuration for a given workload scale.
+    benchmark_config: Optional[ConfigBuilder] = None
+    #: ``(kind, repetition index) -> Request`` benign request builder.
+    request_factory: Optional[Callable[[str, int], Request]] = None
+    #: Per-kind state-restoring hooks (most request kinds need none).
+    reset_hooks: Mapping[str, ResetHook] = field(default_factory=dict)
+    #: Configuration overlay that plants the documented error trigger.
+    attack_config: Optional[Callable[[], Dict[str, object]]] = None
+    #: Builds the canonical attack request.
+    attack_request: Optional[Callable[[], Request]] = None
+    #: Builds the legitimate follow-up requests issued after an attack.
+    follow_ups: Optional[Callable[[], List[Request]]] = None
+    #: One-line description used in listings.
+    description: str = ""
+
+    # -- convenience accessors (fallbacks for omitted pieces) ----------------------
+
+    def build_config(self, scale: float = 1.0) -> Dict[str, object]:
+        """The benign benchmark configuration sized for ``scale``."""
+        if self.benchmark_config is None:
+            return {}
+        return dict(self.benchmark_config(scale))
+
+    def make_request(self, kind: str, index: int = 0) -> Request:
+        """One benign request of ``kind`` for repetition ``index``."""
+        if self.request_factory is None:
+            raise KeyError(f"profile {self.name!r} defines no benign request factory")
+        return self.request_factory(kind, index)
+
+    def request_factory_for(self, kind: str) -> RequestFactory:
+        """The per-repetition request factory for one figure row."""
+
+        def factory(index: int) -> Request:
+            return self.make_request(kind, index)
+
+        return factory
+
+    def reset_hook_for(self, kind: str) -> Optional[ResetHook]:
+        """The state-restoring hook for ``kind``, or None if none is needed."""
+        return self.reset_hooks.get(kind)
+
+    def make_attack_config(self) -> Dict[str, object]:
+        """Configuration overlay planting the documented error trigger."""
+        if self.attack_config is None:
+            return {}
+        return dict(self.attack_config())
+
+    def make_attack_request(self) -> Request:
+        """The canonical attack request."""
+        if self.attack_request is None:
+            raise KeyError(f"profile {self.name!r} defines no attack request")
+        return self.attack_request()
+
+    def make_follow_ups(self) -> List[Request]:
+        """Legitimate follow-up requests checking continued service."""
+        if self.follow_ups is None:
+            return []
+        return list(self.follow_ups())
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Process-wide profile registry, keyed by profile name.
+PROFILES: Dict[str, ServerProfile] = {}
+
+
+def register_profile(profile: ServerProfile) -> ServerProfile:
+    """Register (or replace) a profile and return it.
+
+    Returning the profile lets server modules write
+    ``PROFILE = register_profile(ServerProfile(...))``.
+    """
+    PROFILES[profile.name] = profile
+    return profile
+
+
+def unregister_profile(name: str) -> Optional[ServerProfile]:
+    """Remove a profile (used by tests and plugin teardown); returns it if present."""
+    return PROFILES.pop(name, None)
+
+
+def get_profile(name: str) -> ServerProfile:
+    """Look up a profile by name.
+
+    Raises
+    ------
+    KeyError
+        If no profile with that name is registered.
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown server {name!r}; expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def profile_names() -> List[str]:
+    """Sorted names of every registered profile."""
+    return sorted(PROFILES)
+
+
+def iter_profiles() -> Iterator[ServerProfile]:
+    """Iterate over registered profiles in name order."""
+    for name in profile_names():
+        yield PROFILES[name]

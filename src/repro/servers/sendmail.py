@@ -220,3 +220,46 @@ class SendmailServer(Server):
         ctx.free(chunk_buf)
         ctx.set_site("")
         return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Experiment profile (Figure 4 and §4.4.2)
+# ---------------------------------------------------------------------------
+# Workload builders are imported lazily: the workload modules import this
+# module at import time (for the prescan buffer constant).
+
+from repro.servers.profile import ServerProfile, register_profile  # noqa: E402
+
+
+def _benign_request(kind: str, index: int) -> Request:
+    from repro.workloads.benign import sendmail_requests
+
+    return sendmail_requests(kind, 1)[0]
+
+
+def _attack_request() -> Request:
+    from repro.workloads.attacks import sendmail_attack_request
+
+    return sendmail_attack_request()
+
+
+def _follow_ups() -> List[Request]:
+    from repro.workloads.benign import sendmail_requests
+
+    return sendmail_requests("recv_small", 1)
+
+
+PROFILE = register_profile(
+    ServerProfile(
+        name="sendmail",
+        server_cls=SendmailServer,
+        figure_rows=("recv_small", "recv_large", "send_small", "send_large"),
+        figure_number=4,
+        request_factory=_benign_request,
+        # The attack arrives entirely in the request; no configuration change
+        # is needed to plant the trigger.
+        attack_request=_attack_request,
+        follow_ups=_follow_ups,
+        description="Sendmail 8.11.6 prescan address-parsing stack overflow (§4.4)",
+    )
+)

@@ -178,16 +178,11 @@ def mutt_attack_config(length: int = 120) -> Dict[str, object]:
 
 
 def attack_request_for(server_name: str) -> Request:
-    """Return the canonical attack request for a server (by registry name)."""
-    factories = {
-        "apache": apache_attack_request,
-        "sendmail": sendmail_attack_request,
-        "midnight-commander": midnight_commander_attack_request,
-        "mutt": mutt_attack_request,
-        "pine": lambda: Request(kind="list", payload={}, is_attack=True),
-    }
+    """Return the canonical attack request for a server (from its profile)."""
+    from repro.servers.profile import get_profile
+
     try:
-        return factories[server_name]()
+        return get_profile(server_name).make_attack_request()
     except KeyError:
         raise KeyError(f"no attack request defined for server {server_name!r}") from None
 
@@ -199,16 +194,9 @@ def attack_config_for(server_name: str) -> Dict[str, object]:
     while loading attacker-influenced data, so the trigger lives in the
     configuration; for Apache the configuration contains the vulnerable rule
     (the attack then arrives as a request); Sendmail needs no configuration
-    change because the attack arrives entirely in the request.
+    change because the attack arrives entirely in the request.  Each server's
+    profile declares its own trigger; unknown servers raise ``KeyError``.
     """
-    factories = {
-        "pine": lambda: {"mailbox": pine_poisoned_mailbox()},
-        "apache": apache_vulnerable_config,
-        "sendmail": dict,
-        "midnight-commander": dict,
-        "mutt": mutt_attack_config,
-    }
-    try:
-        return factories[server_name]()
-    except KeyError:
-        raise KeyError(f"no attack configuration defined for {server_name!r}") from None
+    from repro.servers.profile import get_profile
+
+    return get_profile(server_name).make_attack_config()

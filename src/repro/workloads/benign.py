@@ -186,14 +186,19 @@ def mutt_requests(kind: str, count: int = 1) -> List[Request]:
 # Registry used by the harness
 # ---------------------------------------------------------------------------
 
-#: For each server, the request kinds that appear as rows of its figure.
-FIGURE_ROWS: Dict[str, List[str]] = {
-    "pine": ["read", "compose", "move"],
-    "apache": ["small", "large"],
-    "sendmail": ["recv_small", "recv_large", "send_small", "send_large"],
-    "midnight-commander": ["copy", "move", "mkdir", "delete"],
-    "mutt": ["read", "move"],
-}
+def _profile_figure_rows() -> Dict[str, List[str]]:
+    # Imported here (not at module top) so this module can also be pulled in
+    # lazily from inside the server modules' profile closures.
+    from repro.servers import SERVER_CLASSES
+    from repro.servers.profile import get_profile
+
+    return {name: list(get_profile(name).figure_rows) for name in SERVER_CLASSES}
+
+
+#: For each paper server, the request kinds that appear as rows of its figure.
+#: Derived from the registered profiles (the single source of truth); consult
+#: ``get_profile(name).figure_rows`` directly for servers registered later.
+FIGURE_ROWS: Dict[str, List[str]] = _profile_figure_rows()
 
 _GENERATORS = {
     "pine": pine_requests,
@@ -215,12 +220,19 @@ def benign_requests_for(server_name: str, kind: str, count: int = 1, **kwargs) -
 
 
 def random_legitimate_request(server_name: str, rng: random.Random) -> Request:
-    """Pick a random benign request for a server (used by the stability streams)."""
-    kinds = FIGURE_ROWS[server_name]
+    """Pick a random benign request for a server (used by the stability streams).
+
+    The request kinds come from the server's registered profile, so plugged-in
+    servers get stability streams with no edits here; the random repetition
+    index keeps generated paths unique for servers (like Midnight Commander)
+    whose factories embed it.
+    """
+    from repro.servers.profile import get_profile
+
+    profile = get_profile(server_name)
+    kinds = list(profile.figure_rows)
     # Exclude workload kinds that need setup state (copies/moves of unique paths).
     safe_kinds = [k for k in kinds if k not in ("move", "copy", "delete")] or kinds
     kind = rng.choice(safe_kinds)
     suffix = rng.randrange(1_000_000)
-    if server_name == "midnight-commander":
-        return midnight_commander_requests(kind, 1, unique_suffix=suffix)[0]
-    return benign_requests_for(server_name, kind, 1)[0]
+    return profile.make_request(kind, suffix)

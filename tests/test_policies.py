@@ -129,6 +129,25 @@ class TestBoundlessPolicy:
         read = policy.on_invalid_read(oob_event(offset=100, access=AccessKind.READ), 1)
         assert read.data != b"e"
 
+    def test_overwriting_stored_offsets_consumes_no_extra_capacity(self):
+        policy = BoundlessPolicy(max_stored_bytes=4)
+        for _ in range(10):
+            policy.on_invalid_write(oob_event(offset=0), b"abcd")
+        # Ten overwrites of the same four offsets still fit in a 4-byte store.
+        policy.on_invalid_write(oob_event(offset=0), b"WXYZ")
+        read = policy.on_invalid_read(oob_event(offset=0, access=AccessKind.READ), 4)
+        assert read.data == b"WXYZ"
+        assert policy.stored_bytes() == 4
+
+    def test_overwrites_do_not_double_count_stored_bytes_stat(self):
+        policy = BoundlessPolicy()
+        policy.on_invalid_write(oob_event(offset=0), b"abcd")
+        policy.on_invalid_write(oob_event(offset=0), b"WXYZ")
+        policy.on_invalid_write(oob_event(offset=2), b"1234")
+        # 4 fresh offsets, then 0 fresh, then 2 fresh (offsets 4 and 5).
+        assert policy.stats.stored_out_of_bounds_bytes == 6
+        assert policy.stored_bytes() == 6
+
 
 class TestRedirectPolicy:
     def test_redirects_out_of_bounds_offsets_into_unit(self):
