@@ -19,33 +19,43 @@ from __future__ import annotations
 import os
 from typing import Callable
 
-import pytest
-
 from repro.harness.engine import ENGINE
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
 
+def bench_workers() -> int:
+    """Process count for table benchmarks that fan out via ``run_many``.
+
+    Controlled by ``REPRO_BENCH_WORKERS`` (0 or unset = serial), so CI and
+    local runs can exercise the pooled path without editing the suite.
+    """
+    try:
+        return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    except ValueError:  # pragma: no cover - malformed env var
+        return 0
+
+
+#: Whether this session has already truncated the results file.  Truncation
+#: is lazy — done by the first ``record_table`` call — so sessions that run
+#: only table-free modules (e.g. the substrate throughput benchmark alone)
+#: leave the committed reproduction tables intact.
+_results_file_fresh = False
+
+
 def record_table(title: str, table_text: str) -> None:
     """Print a reproduction table and append it to the results file."""
+    global _results_file_fresh
     banner = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n"
     print(banner + table_text)
     try:
-        with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        with open(RESULTS_PATH, "a" if _results_file_fresh else "w", encoding="utf-8") as handle:
+            if not _results_file_fresh:
+                handle.write("failure-oblivious computing reproduction: benchmark tables\n")
             handle.write(banner + table_text + "\n")
+        _results_file_fresh = True
     except OSError:  # pragma: no cover - the results file is best effort
         pass
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _fresh_results_file():
-    """Start each benchmark session with an empty results file."""
-    try:
-        with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-            handle.write("failure-oblivious computing reproduction: benchmark tables\n")
-    except OSError:  # pragma: no cover
-        pass
-    yield
 
 
 def served_request_runner(server_name: str, policy_name: str, kind: str,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import record_table, served_request_runner
+from benchmarks.conftest import bench_workers, record_table, served_request_runner
 from repro.harness.experiments import run_experiment
 
 KINDS = ["small", "large"]
@@ -18,7 +18,7 @@ def test_apache_request_time(benchmark, policy, kind):
 def test_fig3_table(benchmark):
     """Regenerate the full Figure 3 table; Apache overhead should be small (~1.0x)."""
     output = benchmark.pedantic(
-        lambda: run_experiment("fig3", repetitions=15, scale=1.0), rounds=1, iterations=1
+        lambda: run_experiment("fig3", repetitions=15, scale=1.0, workers=bench_workers()), rounds=1, iterations=1
     )
     record_table("Figure 3 (Apache request processing times)", output.table)
     for row in output.data:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import record_table, served_request_runner
+from benchmarks.conftest import bench_workers, record_table, served_request_runner
 from repro.harness.experiments import run_experiment
 
 KINDS = ["recv_small", "recv_large", "send_small", "send_large"]
@@ -18,7 +18,7 @@ def test_sendmail_request_time(benchmark, policy, kind):
 def test_fig4_table(benchmark):
     """Regenerate the full Figure 4 table (receive/send, small/large bodies)."""
     output = benchmark.pedantic(
-        lambda: run_experiment("fig4", repetitions=15, scale=0.5), rounds=1, iterations=1
+        lambda: run_experiment("fig4", repetitions=15, scale=0.5, workers=bench_workers()), rounds=1, iterations=1
     )
     record_table("Figure 4 (Sendmail request processing times)", output.table)
     slowdowns = [row.slowdown for row in output.data]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import record_table, served_request_runner
+from benchmarks.conftest import bench_workers, record_table, served_request_runner
 from repro.harness.experiments import run_experiment
 
 KINDS = ["copy", "move", "mkdir", "delete"]
@@ -18,7 +18,7 @@ def test_midnight_commander_request_time(benchmark, policy, kind):
 def test_fig5_table(benchmark):
     """Regenerate the full Figure 5 table (copy/move/mkdir/delete)."""
     output = benchmark.pedantic(
-        lambda: run_experiment("fig5", repetitions=15, scale=0.5), rounds=1, iterations=1
+        lambda: run_experiment("fig5", repetitions=15, scale=0.5, workers=bench_workers()), rounds=1, iterations=1
     )
     record_table("Figure 5 (Midnight Commander request processing times)", output.table)
     for row in output.data:

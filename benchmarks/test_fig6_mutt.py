@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import record_table, served_request_runner
+from benchmarks.conftest import bench_workers, record_table, served_request_runner
 from repro.core.policies import FailureObliviousPolicy, StandardPolicy
 from repro.harness.experiments import run_experiment
 from repro.memory.context import MemoryContext
@@ -36,7 +36,7 @@ def test_figure1_conversion_cost(benchmark, policy_cls):
 def test_fig6_table(benchmark):
     """Regenerate the full Figure 6 table (read/move)."""
     output = benchmark.pedantic(
-        lambda: run_experiment("fig6", repetitions=15, scale=0.5), rounds=1, iterations=1
+        lambda: run_experiment("fig6", repetitions=15, scale=0.5, workers=bench_workers()), rounds=1, iterations=1
     )
     record_table("Figure 6 (Mutt request processing times)", output.table)
     for row in output.data:

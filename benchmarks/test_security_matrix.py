@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import record_table
+from benchmarks.conftest import bench_workers, record_table
 from repro.harness.experiments import run_experiment
 from repro.harness.runner import run_attack_scenario
 from repro.servers import SERVER_CLASSES
@@ -22,7 +22,8 @@ def test_attack_scenario_cost_failure_oblivious(benchmark, server_name):
 def test_security_matrix_table(benchmark):
     """Regenerate the full 5-server x 3-build security matrix."""
     output = benchmark.pedantic(
-        lambda: run_experiment("tab-security", scale=0.25), rounds=1, iterations=1
+        lambda: run_experiment("tab-security", scale=0.25, workers=bench_workers()),
+        rounds=1, iterations=1
     )
     record_table("Security and resilience matrix (§4.2.2-§4.6.2)", output.table)
     assessments = output.data["assessments"]

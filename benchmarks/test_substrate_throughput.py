@@ -1,0 +1,189 @@
+"""Substrate throughput benchmark: the perf trajectory of the memory fast path.
+
+Measures bytes/second through the policy-mediated substrate for the span
+fast path (the shipped ``cstring`` implementation) against a per-byte
+reference (the pre-fast-path byte loops frozen in
+:mod:`tests.reference_cstring`, shared with the equivalence suite), for every
+policy, plus the wall clock of each performance figure.  Results are written
+to ``BENCH_substrate.json`` at the repository root so the throughput
+trajectory is tracked in version control from PR 2 on.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_FULL=1``
+    Use full-size buffers (1 MiB spans) instead of the smoke sizes, for
+    regenerating the committed baseline.  ``BENCH_substrate.json`` is only
+    (over)written in this mode; smoke runs — including ENFORCE-only gate
+    reproductions — leave the committed baseline untouched.
+``REPRO_BENCH_ENFORCE=1``
+    Fail if the measured speedup over the per-byte reference regresses more
+    than 30% against the committed ``BENCH_substrate.json`` (the CI smoke
+    job sets this).
+``REPRO_BENCH_WORKERS``
+    Worker count recorded in the JSON and used for the figure wall-clock
+    sweep (see :func:`benchmarks.conftest.bench_workers`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_workers
+from repro.core.policies import POLICY_NAMES
+from repro.harness.experiments import run_experiment
+from repro.memory import cstring
+from repro.memory.context import MemoryContext
+from repro.servers import SERVER_CLASSES
+from repro.servers.profile import get_profile
+from tests.reference_cstring import ref_strcpy
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_substrate.json")
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+ENFORCE = os.environ.get("REPRO_BENCH_ENFORCE") == "1"
+
+#: Bytes moved per fast-path measurement (spans are the unit of work now).
+FAST_BYTES = (1 << 20) if FULL else (1 << 16)
+#: Bytes moved per per-byte-reference measurement (three decimal orders
+#: slower, so it gets a proportionally smaller buffer).
+REFERENCE_BYTES = (1 << 14) if FULL else (1 << 12)
+#: The acceptance floor: the fast path must beat the per-byte reference by at
+#: least this factor on the Standard and Boundless policies.
+REQUIRED_SPEEDUP = 5.0
+#: Maximum tolerated regression against the committed baseline (CI gate).
+REGRESSION_TOLERANCE = 0.30
+#: The baseline speedup is capped before the tolerance is applied: measured
+#: speedups span four decades run-to-run (the per-byte reference is timed in
+#: tens of milliseconds), so gating on the raw ratio would flake.  Any real
+#: breakage of the fast path collapses the speedup to ~1x, far below this cap.
+BASELINE_SPEEDUP_CAP = 100.0
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _best_rate(operation, payload_bytes, rounds=3):
+    """Best observed bytes/second over a few rounds (minimizes scheduler noise)."""
+    best = 0.0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        operation()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, payload_bytes / elapsed)
+    return best
+
+
+def _measure_policy(policy_name):
+    """Measure fast-path and per-byte throughput under one policy."""
+    policy_cls = POLICY_NAMES[policy_name]
+
+    ctx = MemoryContext(policy_cls(), heap_size=8 * FAST_BYTES)
+    src = ctx.alloc_c_string(b"x" * FAST_BYTES)
+    dst = ctx.malloc(FAST_BYTES + 1)
+    strcpy_rate = _best_rate(lambda: cstring.strcpy(ctx.mem, dst, src), FAST_BYTES)
+    strlen_rate = _best_rate(lambda: cstring.strlen(ctx.mem, src), FAST_BYTES)
+
+    ref_ctx = MemoryContext(policy_cls())
+    ref_src = ref_ctx.alloc_c_string(b"x" * REFERENCE_BYTES)
+    ref_dst = ref_ctx.malloc(REFERENCE_BYTES + 1)
+    reference_rate = _best_rate(
+        lambda: ref_strcpy(ref_ctx.mem, ref_dst, ref_src), REFERENCE_BYTES, rounds=1
+    )
+
+    return {
+        "strcpy_bytes_per_sec": round(strcpy_rate),
+        "strlen_bytes_per_sec": round(strlen_rate),
+        "per_byte_strcpy_bytes_per_sec": round(reference_rate),
+        "speedup_vs_per_byte": round(strcpy_rate / reference_rate, 1) if reference_rate else None,
+    }
+
+
+@pytest.fixture(scope="module")
+def substrate_report():
+    """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
+    baseline = None
+    try:
+        with open(BENCH_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError):
+        pass
+
+    policies = {name: _measure_policy(name) for name in sorted(POLICY_NAMES)}
+
+    workers = bench_workers()
+    figures = {}
+    for server_name in sorted(SERVER_CLASSES):
+        figure_number = get_profile(server_name).figure_number
+        if figure_number is None:
+            continue
+        experiment_id = f"fig{figure_number}"
+        started = time.perf_counter()
+        run_experiment(experiment_id, repetitions=3, scale=0.25, workers=workers or None)
+        figures[experiment_id] = round(time.perf_counter() - started, 3)
+
+    report = {
+        "schema": "repro-substrate-throughput/v1",
+        "mode": "full" if FULL else "smoke",
+        "python": platform.python_version(),
+        "fast_payload_bytes": FAST_BYTES,
+        "per_byte_payload_bytes": REFERENCE_BYTES,
+        "workers": workers,
+        "policies": policies,
+        "figures_wall_clock_seconds": figures,
+    }
+    # Only full-mode runs overwrite the version-tracked baseline (the CI job
+    # sets REPRO_BENCH_FULL together with REPRO_BENCH_ENFORCE).  Neither a
+    # plain local pytest run nor a local ENFORCE-only gate reproduction may
+    # silently replace the committed full-mode numbers with smoke numbers.
+    if FULL:
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return {"report": report, "baseline": baseline}
+
+
+def test_fast_path_meets_speedup_floor(substrate_report):
+    """The span fast path must beat the per-byte substrate ≥5x (ISSUE 2 target)."""
+    policies = substrate_report["report"]["policies"]
+    for policy_name in ("standard", "boundless"):
+        speedup = policies[policy_name]["speedup_vs_per_byte"]
+        assert speedup is not None and speedup >= REQUIRED_SPEEDUP, (
+            f"{policy_name}: fast path only {speedup}x over the per-byte reference"
+        )
+
+
+def test_every_policy_produces_throughput_numbers(substrate_report):
+    """All registered policies are measured and report sane positive rates."""
+    policies = substrate_report["report"]["policies"]
+    assert set(policies) == set(POLICY_NAMES)
+    for name, row in policies.items():
+        assert row["strcpy_bytes_per_sec"] > 0, name
+        assert row["strlen_bytes_per_sec"] > 0, name
+
+
+def test_no_regression_against_committed_baseline(substrate_report):
+    """CI gate: speedup must stay within 30% of the committed baseline."""
+    if not ENFORCE:
+        pytest.skip("baseline enforcement disabled (set REPRO_BENCH_ENFORCE=1)")
+    baseline = substrate_report["baseline"]
+    if not baseline or "policies" not in baseline:
+        pytest.skip("no committed baseline to compare against")
+    current = substrate_report["report"]["policies"]
+    for name, row in baseline["policies"].items():
+        reference = row.get("speedup_vs_per_byte")
+        measured = current.get(name, {}).get("speedup_vs_per_byte")
+        # Explicit None checks: a catastrophic regression rounds the measured
+        # speedup to a *falsy* 0.0, which is exactly what must not skip the gate.
+        if reference is None or measured is None:
+            continue
+        floor = min(reference, BASELINE_SPEEDUP_CAP) * (1.0 - REGRESSION_TOLERANCE)
+        assert measured >= floor, (
+            f"{name}: speedup {measured}x regressed >30% below baseline {reference}x "
+            f"(gate floor {floor}x)"
+        )

@@ -24,6 +24,7 @@ Run the documented attack against one server under one build::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -52,6 +53,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="repetitions per figure cell (figures only)")
     run_parser.add_argument("--scale", type=float, default=None,
                             help="workload scale factor (see DESIGN.md)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="process count for experiments that fan out "
+                                 "(figure cells, security-matrix cells); "
+                                 "default runs serially")
 
     attack_parser = subparsers.add_parser(
         "attack", help="run the documented attack scenario against one server"
@@ -87,11 +92,25 @@ def _command_run(args: argparse.Namespace) -> int:
         kwargs["repetitions"] = args.repetitions
     if args.scale is not None:
         kwargs["scale"] = args.scale
-    try:
-        output = run_experiment(args.experiment, **kwargs)
-    except TypeError:
-        # Not every experiment accepts every knob; retry with defaults.
-        output = run_experiment(args.experiment)
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    # Not every experiment accepts every knob.  Drop only the knobs this
+    # experiment's runner does not take — loudly — instead of retrying with
+    # all defaults, which would silently ignore the knobs it *does* accept.
+    runner = EXPERIMENTS[args.experiment]
+    parameters = inspect.signature(runner).parameters
+    accepts_kwargs = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    if not accepts_kwargs:
+        for name in sorted(set(kwargs) - set(parameters)):
+            print(
+                f"note: {args.experiment} does not accept --{name}; ignoring it",
+                file=sys.stderr,
+            )
+            del kwargs[name]
+    output = run_experiment(args.experiment, **kwargs)
     print(output)
     return 0
 

@@ -39,6 +39,13 @@ class SegmentationFault(MemoryFault):
         self.address = address
         super().__init__(message or f"segmentation fault at address {address:#x}")
 
+    def __reduce__(self):
+        # Exceptions pickle as ``cls(*args)``, but ``args`` holds the formatted
+        # message, not the constructor arguments; spell them out so results can
+        # cross process-pool boundaries (ExperimentEngine.run_many).  The
+        # message is included because callers (the stack) raise with custom text.
+        return (type(self), (self.address, str(self)))
+
 
 class BoundsCheckViolation(MemoryFault):
     """Raised by the Bounds Check policy at the first detected memory error.
@@ -50,6 +57,9 @@ class BoundsCheckViolation(MemoryFault):
     def __init__(self, event: "MemoryErrorEvent") -> None:
         self.event = event
         super().__init__(f"bounds check violation: {event.describe()}")
+
+    def __reduce__(self):
+        return (type(self), (self.event,))
 
 
 class ControlFlowHijack(MemoryFault):
@@ -67,6 +77,9 @@ class ControlFlowHijack(MemoryFault):
             f"control flow hijacked to {address:#x} (payload {payload_tag!r})"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.address, self.payload_tag))
+
 
 class DoubleFree(MemoryFault):
     """Raised by the heap allocator when a block is freed twice."""
@@ -82,6 +95,9 @@ class UseAfterFree(MemoryFault):
     def __init__(self, event: "MemoryErrorEvent") -> None:
         self.event = event
         super().__init__(f"use after free: {event.describe()}")
+
+    def __reduce__(self):
+        return (type(self), (self.event,))
 
 
 class InfiniteLoopGuard(MemoryFault):

@@ -28,12 +28,14 @@ the experiment registry.
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.policies import POLICY_NAMES
 from repro.errors import RequestOutcome, RequestResult
-from repro.harness.timing import TimingResult, measure_paired, slowdown
+from repro.harness.timing import TimingResult, measure_paired, slowdown, wall_clock
 from repro.servers.base import Server
 from repro.servers.profile import PROFILES, ServerProfile, get_profile
 
@@ -45,6 +47,28 @@ __all__ = [
     "SecurityCell",
     "ENGINE",
 ]
+
+
+# The engine running specs inside pool workers.  Workers are forked, so setting
+# this immediately before creating the pool makes the *submitting* engine —
+# including any profiles and workload shapes registered on it at runtime —
+# visible in every worker without pickling the engine itself.
+_POOL_ENGINE: Optional["ExperimentEngine"] = None
+
+
+def _pool_run_spec(spec: "ScenarioSpec") -> Tuple[object, float]:
+    """Run one spec in a pool worker, returning (result, wall-clock seconds)."""
+    engine = _POOL_ENGINE if _POOL_ENGINE is not None else ENGINE
+    return _pool_run_spec_serial(engine, spec)
+
+
+def _pool_run_spec_serial(
+    engine: "ExperimentEngine", spec: "ScenarioSpec"
+) -> Tuple[object, float]:
+    """Run one spec in-process, returning (result, wall-clock seconds)."""
+    started = wall_clock()
+    result = engine.run(spec)
+    return result, wall_clock() - started
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +294,57 @@ class ExperimentEngine:
             ) from None
         return runner(self, spec)
 
+    def run_many(
+        self,
+        specs: Sequence[ScenarioSpec],
+        workers: Optional[int] = None,
+        timed: bool = False,
+    ) -> List[object]:
+        """Run several scenarios, optionally fanned out over worker processes.
+
+        ``ExperimentEngine.run`` is a pure function of its spec (every run
+        builds fresh servers and a fresh substrate), so specs can execute in
+        any order and in separate processes without observable differences:
+        results come back in spec order and are identical to the serial path
+        apart from wall-clock timings.
+
+        Parameters
+        ----------
+        specs:
+            The scenarios to run.
+        workers:
+            Process count.  ``None``, 0, or 1 runs serially in-process; higher
+            values use a forked process pool (falling back to serial where
+            fork is unavailable, e.g. on Windows).
+        timed:
+            If True, return ``(result, seconds)`` pairs instead of bare
+            results, where ``seconds`` is the per-spec wall clock measured
+            inside the worker.
+        """
+        global _POOL_ENGINE
+        specs = list(specs)
+        count = 0 if workers is None else int(workers)
+        pairs: List[Tuple[object, float]] = []
+        if count > 1 and len(specs) > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = None
+            if context is not None:
+                _POOL_ENGINE = self
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(count, len(specs)), mp_context=context
+                    ) as pool:
+                        pairs = list(pool.map(_pool_run_spec, specs))
+                finally:
+                    _POOL_ENGINE = None
+        if not pairs:
+            pairs = [_pool_run_spec_serial(self, spec) for spec in specs]
+        if timed:
+            return pairs
+        return [result for result, _seconds in pairs]
+
     # -- workload shapes -----------------------------------------------------------
 
     def _run_performance(self, spec: ScenarioSpec) -> List[FigureRow]:
@@ -388,26 +463,28 @@ class ExperimentEngine:
         servers: Optional[Sequence[str]] = None,
         policies: Sequence[str] = ("standard", "bounds-check", "failure-oblivious"),
         scale: float = 0.25,
+        workers: Optional[int] = None,
     ) -> List[SecurityCell]:
         """Run the attack scenario for every (server, policy) combination.
 
         ``servers`` defaults to the paper's five (the stable
         ``SERVER_CLASSES`` scope) so that third-party profiles registered for
-        other purposes do not silently widen the paper's matrix.
+        other purposes do not silently widen the paper's matrix.  With
+        ``workers > 1`` the (server, policy) cells fan out over a process
+        pool, one process per cell.
         """
         if servers is None:
             from repro.servers import SERVER_CLASSES
 
             servers = sorted(SERVER_CLASSES)
-        cells: List[SecurityCell] = []
-        for server_name in servers:
-            for policy_name in policies:
-                scenario = self.run(
-                    ScenarioSpec(server=server_name, policy=policy_name,
-                                 workload="attack", scale=scale)
-                )
-                cells.append(SecurityCell.from_scenario(scenario))
-        return cells
+        specs = [
+            ScenarioSpec(server=server_name, policy=policy_name,
+                         workload="attack", scale=scale)
+            for server_name in servers
+            for policy_name in policies
+        ]
+        scenarios = self.run_many(specs, workers=workers)
+        return [SecurityCell.from_scenario(scenario) for scenario in scenarios]
 
 
 #: Default engine over the live global profile registry.

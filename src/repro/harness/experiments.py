@@ -39,6 +39,7 @@ from repro.harness.report import (
 )
 from repro.harness.stability import run_stability_experiment
 from repro.harness.throughput import run_throughput_experiment, throughput_ratio
+from repro.harness.timing import wall_clock
 from repro.servers import SERVER_CLASSES
 from repro.servers.profile import get_profile
 from repro.workloads.streams import mixed_stream
@@ -69,17 +70,26 @@ class ExperimentOutput:
 # so adding a server with a figure adds its experiment with no edits here.
 
 
-def _run_figure(server_name: str, repetitions: int = 20, scale: float = 1.0) -> ExperimentOutput:
+def _run_figure(server_name: str, repetitions: int = 20, scale: float = 1.0,
+                workers: Optional[int] = None) -> ExperimentOutput:
     profile = get_profile(server_name)
-    rows = ENGINE.run(
-        ScenarioSpec(server=server_name, workload="performance",
-                     repetitions=repetitions, scale=scale)
-    )
+    spec = ScenarioSpec(server=server_name, workload="performance",
+                        repetitions=repetitions, scale=scale)
+    # One spec per figure cell so a process pool can fan the cells out; the
+    # serial path (workers <= 1) takes the same route, so both paths measure
+    # the same per-cell work.
+    cell_specs = [spec.with_(kinds=(kind,)) for kind in profile.figure_rows]
+    timed = ENGINE.run_many(cell_specs, workers=workers, timed=True)
+    rows = [row for cell_rows, _seconds in timed for row in cell_rows]
     experiment_id = f"fig{profile.figure_number}"
     table = format_figure_table(rows)
     notes = [
         "Times are from the simulated substrate, not the paper's testbed;",
         "compare the Slowdown column with the paper's figure of the same number.",
+        _wall_clock_note(
+            [(cell.kinds[0], seconds) for cell, (_r, seconds) in zip(cell_specs, timed)],
+            workers,
+        ),
     ]
     return ExperimentOutput(
         experiment_id=experiment_id,
@@ -90,13 +100,24 @@ def _run_figure(server_name: str, repetitions: int = 20, scale: float = 1.0) -> 
     )
 
 
+def _wall_clock_note(spec_seconds: List[tuple], workers: Optional[int]) -> str:
+    """One note line surfacing per-spec wall clock and the fan-out width."""
+    mode = f"{workers} workers" if workers and workers > 1 else "serial"
+    cells = ", ".join(f"{label} {seconds:.2f}s" for label, seconds in spec_seconds)
+    total = sum(seconds for _label, seconds in spec_seconds)
+    return f"wall-clock ({mode}): {cells} (sum {total:.2f}s)"
+
+
 # ---------------------------------------------------------------------------
 # Security matrix
 # ---------------------------------------------------------------------------
 
 
-def _run_security(repetitions: int = 1, scale: float = 0.25) -> ExperimentOutput:
-    cells = ENGINE.run_security_matrix(scale=scale)
+def _run_security(repetitions: int = 1, scale: float = 0.25,
+                  workers: Optional[int] = None) -> ExperimentOutput:
+    started = wall_clock()
+    cells = ENGINE.run_security_matrix(scale=scale, workers=workers)
+    elapsed = wall_clock() - started
     assessments = assess_security(cells=cells)
     table = format_security_matrix(cells)
     verdict_rows = [
@@ -105,11 +126,13 @@ def _run_security(repetitions: int = 1, scale: float = 0.25) -> ExperimentOutput
     verdict_table = format_simple_table(
         ["server", "build", "verdict"], verdict_rows, title="Security verdicts"
     )
+    mode = f"{workers} workers" if workers and workers > 1 else "serial"
     return ExperimentOutput(
         experiment_id="tab-security",
         title="Security and resilience under the documented attacks (§4.2.2-§4.6.2)",
         table=table + "\n\n" + verdict_table,
         data={"cells": cells, "assessments": assessments},
+        notes=[f"matrix wall-clock ({mode}): {elapsed:.2f}s for {len(cells)} cells"],
     )
 
 

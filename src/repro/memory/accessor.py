@@ -130,14 +130,25 @@ class MemoryAccessor:
         return prefix + self.space.read(oob_ptr.address, oob_len)
 
     def _read_redirected(self, ptr: FatPointer, length: int) -> bytes:
-        """Read a redirected range, wrapping around inside the unit as needed."""
+        """Read a redirected range, wrapping around inside the unit as needed.
+
+        The wrapped range is assembled from whole-slice reads: one when the
+        range fits before the end of the unit, two (a rotation) when it wraps,
+        and a tiled rotation when it is longer than the unit itself.
+        """
         unit = ptr.referent
-        data = bytearray()
-        offset = ptr.offset
-        for _ in range(length):
-            data.append(self.space.read_byte(unit.base + (offset % unit.size)))
-            offset += 1
-        return bytes(data)
+        size = unit.size
+        if size <= 0:  # defensive: policies never redirect into empty units
+            return b"\x00" * length
+        offset = ptr.offset % size
+        if length <= size - offset:
+            return self.space.read(unit.base + offset, length)
+        rotated = (
+            self.space.read(unit.base + offset, size - offset)
+            + self.space.read(unit.base, offset)
+        )
+        repeats = -(-length // size)  # ceil division
+        return (rotated * repeats)[:length]
 
     # -- writes ----------------------------------------------------------------------
 
@@ -174,13 +185,31 @@ class MemoryAccessor:
         if decision.action is DecisionAction.DISCARD:
             return
         if decision.action is DecisionAction.REDIRECT:
-            offset = decision.redirect_offset
-            for byte in oob_data:
-                self.space.write_byte(unit.base + (offset % unit.size), byte)
-                offset += 1
+            self._write_redirected(unit, decision.redirect_offset, oob_data)
             return
         # PERFORM_RAW: the unchecked behaviour, performed deliberately.
         self.space.write(oob_ptr.address, oob_data)
+
+    def _write_redirected(self, unit: DataUnit, offset: int, data: bytes) -> None:
+        """Write a redirected range, wrapping inside the unit as needed.
+
+        Equivalent to writing the bytes one at a time at ``(offset + i) %
+        size`` but performed with at most two slice writes: when the data is
+        longer than the unit, only the last ``size`` bytes survive the
+        byte-at-a-time overwrites, so only they are written.
+        """
+        size = unit.size
+        if size <= 0:  # defensive: policies never redirect into empty units
+            return
+        if len(data) > size:
+            offset = (offset + len(data) - size) % size
+            data = data[-size:]
+        else:
+            offset %= size
+        first = min(len(data), size - offset)
+        self.space.write(unit.base + offset, data[:first])
+        if len(data) > first:
+            self.space.write(unit.base, data[first:])
 
     # -- scalar helpers ----------------------------------------------------------------
 
@@ -223,6 +252,111 @@ class MemoryAccessor:
             self.write(ptr, (value - limit).to_bytes(size, "little", signed=True))
         else:
             self.write(ptr, value.to_bytes(size, "little", signed=False))
+
+    # -- span helpers -------------------------------------------------------------------
+    #
+    # The span methods are the bulk fast path the C-string routines are built
+    # on.  A *span* is the contiguous range that can be accessed raw without
+    # policy intervention: the in-bounds window of the referent for checking
+    # policies, the rest of the containing segment for the unchecked Standard
+    # build.  One policy check and one object-table lookup are paid per span
+    # instead of per byte; anything outside the span falls back to the
+    # per-byte accessors so the per-byte policy events (and therefore the
+    # error log, manufactured-value consumption, and boundless side stores)
+    # are bit-for-bit identical to a byte loop.
+
+    def scan_span(self, ptr: FatPointer) -> int:
+        """Length of the contiguous raw-accessible span starting at ``ptr``.
+
+        Pure query: no policy bookkeeping is performed.  Returns 0 when every
+        access at ``ptr`` must go through the policy (or would fault).
+        """
+        if not self.policy.performs_checks:
+            segment = self.space.find_segment(ptr.address)
+            return 0 if segment is None else segment.end - ptr.address
+        return ptr.remaining()
+
+    def _note_span_check(self, ptr: FatPointer) -> None:
+        """One policy check + one CRED-style table lookup, paid per span."""
+        policy = self.policy
+        if policy.performs_checks:
+            policy.note_check()
+            self.table.find(ptr.address)
+
+    def read_span(self, ptr: FatPointer, length: int) -> bytes:
+        """Bulk read: one check for the safe span, per-byte fallback beyond it."""
+        if length <= 0:
+            return b""
+        span = min(self.scan_span(ptr), length)
+        if span <= 0:
+            return bytes(self.read_byte(ptr + i) for i in range(length))
+        self._note_span_check(ptr)
+        data = self.space.read(ptr.address, span)
+        if span == length:
+            return data
+        return data + bytes(self.read_byte(ptr + i) for i in range(span, length))
+
+    def write_span(self, ptr: FatPointer, data: bytes) -> None:
+        """Bulk write: one check for the safe span, per-byte fallback beyond it."""
+        if not data:
+            return
+        span = min(self.scan_span(ptr), len(data))
+        if span > 0:
+            self._note_span_check(ptr)
+            self.space.write(ptr.address, data[:span])
+        for i in range(span, len(data)):
+            self.write_byte(ptr + i, data[i])
+
+    def read_span_until(self, ptr: FatPointer, value: int, limit: int) -> "tuple[bytes, int]":
+        """Read the safe span up to and including the first ``value``; one check.
+
+        Returns ``(data, index)`` where ``index`` is the offset of ``value``
+        relative to ``ptr`` (or -1 if it does not occur in the span) and
+        ``data`` holds the bytes up to and including the hit — the whole span
+        on a miss.  This is the ``strcpy``/``read_c_string`` shape: locating
+        the terminator and fetching the bytes is a single span-sized read, so
+        it pays a single policy check and table lookup.
+        """
+        span = min(self.scan_span(ptr), limit)
+        if span <= 0:
+            return b"", -1
+        self._note_span_check(ptr)
+        # The follow-up read charges the raw-access counter for these bytes.
+        index = self.space.find_byte(ptr.address, value, span, charge_reads=False)
+        length = index + 1 if index >= 0 else span
+        return self.space.read(ptr.address, length), index
+
+    def find_byte(self, ptr: FatPointer, value: int, limit: int) -> int:
+        """Search the safe span for ``value``; one check per call.
+
+        Returns the offset relative to ``ptr`` of the first occurrence within
+        ``min(limit, scan_span(ptr))`` bytes, or -1 if the value does not
+        occur there.  A -1 only means "not in the span": callers continue with
+        the per-byte path at the span boundary.
+        """
+        span = min(self.scan_span(ptr), limit)
+        if span <= 0:
+            return -1
+        self._note_span_check(ptr)
+        return self.space.find_byte(ptr.address, value, span)
+
+    def find_bytes(self, ptr: FatPointer, values: "tuple[int, ...]", limit: int) -> "tuple[int, ...]":
+        """Search the safe span for several values at once; one check total.
+
+        Returns one offset (or -1) per entry of ``values``, all from the same
+        span scan, so callers needing e.g. both a character and the NUL (the
+        ``strchr`` shape) still pay a single policy check and table lookup.
+        """
+        span = min(self.scan_span(ptr), limit)
+        if span <= 0:
+            return tuple(-1 for _ in values)
+        self._note_span_check(ptr)
+        address = ptr.address
+        # One span scan's worth of raw reads, however many values are sought.
+        return tuple(
+            self.space.find_byte(address, value, span, charge_reads=(position == 0))
+            for position, value in enumerate(values)
+        )
 
     # -- unit helpers -------------------------------------------------------------------
 

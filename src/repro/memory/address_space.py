@@ -173,6 +173,32 @@ class AddressSpace:
         self.raw_writes += 1
         segment.data[address - segment.base] = value & 0xFF
 
+    def find_byte(self, address: int, value: int, length: int,
+                  charge_reads: bool = True) -> int:
+        """Return the offset of the first ``value`` in ``[address, address+length)``.
+
+        Backed by ``bytearray.find`` on the containing segment, so scanning a
+        span costs one C-level search instead of one Python-level read per
+        byte.  Returns -1 if ``value`` does not occur in the range; faults if
+        the range is not entirely mapped (mirroring :meth:`read`).
+
+        ``charge_reads=False`` skips the raw-access counter: callers that
+        follow the search with a :meth:`read` of the same range (or search the
+        same span several times) pass it so each examined byte is charged once.
+        """
+        if length <= 0:
+            return -1
+        segment = self.find_segment(address, length)
+        if segment is None:
+            raise SegmentationFault(address)
+        start = address - segment.base
+        index = segment.data.find(value & 0xFF, start, start + length)
+        if charge_reads:
+            # Bytes up to and including the hit (or the whole span on a miss)
+            # were examined, which is what the raw-access counters measure.
+            self.raw_reads += (index - start + 1) if index >= 0 else length
+        return (index - start) if index >= 0 else -1
+
     def fill(self, address: int, value: int, length: int) -> None:
         """Fill a raw range with a byte value (memset without checks)."""
         self.write(address, bytes([value & 0xFF]) * length)

@@ -7,6 +7,22 @@ the server reimplementations read like the C they model — including the
 property that every byte they touch goes through the policy-mediated accessor
 and can therefore overflow, be discarded, or be manufactured.
 
+Fast path
+---------
+Scanning and copying operate on whole *safe spans* (the contiguous raw
+window reported by :meth:`MemoryAccessor.scan_span`) using the accessor's
+bulk primitives, paying one policy check per span instead of one per byte.
+At a span boundary — the end of the data unit for checking builds, the end
+of the segment for the Standard build — every function falls back to the
+original byte-at-a-time loop, so out-of-bounds behaviour (error-log events,
+manufactured values, boundless stores, redirect wraparound, segmentation
+faults) is byte-for-byte identical to the per-byte implementation.  Only the
+policy's ``checks_performed`` counter observes the difference: one check per
+span rather than per byte.
+
+Overlapping copies are chunked to the pointer distance so the forward
+byte-copy propagation of the C originals is preserved exactly.
+
 All functions take the accessor explicitly (no hidden global state), matching
 the substrate guide's preference for explicit plumbing.
 """
@@ -25,12 +41,46 @@ from repro.memory.pointer import FatPointer
 #: wedging the process.
 SCAN_LIMIT = 1 << 20
 
+#: Upper bound on the chunks used by span operations that must materialize
+#: bytes before knowing where they stop (three-way comparison), so that the
+#: Standard build — whose safe span extends to the end of the whole segment —
+#: never eagerly copies megabytes to compare a short string.
+CHUNK = 4096
+
+
+def _copy_span(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> int:
+    """Largest bulk-copyable chunk size for a ``src`` → ``dst`` copy of ``n`` bytes.
+
+    Zero means the byte loop must be used (no safe span on one side, or the
+    regions coincide).  Overlapping forward copies are capped at the pointer
+    distance, which makes chunked bulk copies reproduce the byte loop's
+    self-propagation exactly.
+    """
+    span = min(mem.scan_span(src), mem.scan_span(dst), n)
+    distance = abs(dst.address - src.address)
+    if distance == 0:
+        return 0
+    return min(span, distance)
+
 
 def strlen(mem: MemoryAccessor, s: FatPointer, limit: int = SCAN_LIMIT) -> int:
     """Return the number of bytes before the first NUL, scanning through memory."""
     length = 0
     ptr = s
     while True:
+        # Fast path: search the whole safe span for the NUL in one pass.  The
+        # span is capped so the loop guard fires after exactly as many bytes
+        # as the byte loop would have examined.
+        span = min(mem.scan_span(ptr), limit - length + 1)
+        if span > 0:
+            index = mem.find_byte(ptr, 0, span)
+            if index >= 0:
+                return length + index
+            length += span
+            ptr = ptr + span
+            if length > limit:
+                raise InfiniteLoopGuard(f"strlen scanned {limit} bytes without finding NUL")
+            continue
         if length > limit:
             raise InfiniteLoopGuard(f"strlen scanned {limit} bytes without finding NUL")
         if mem.read_byte(ptr) == 0:
@@ -46,6 +96,18 @@ def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
     while True:
         if copied > SCAN_LIMIT:
             raise InfiniteLoopGuard("strcpy copied too many bytes")
+        chunk = _copy_span(mem, d, s, SCAN_LIMIT - copied + 1)
+        if chunk > 1:
+            # One span-sized read (locating the NUL included) and one
+            # span-sized write: one policy check per pointer per chunk.
+            data, index = mem.read_span_until(s, 0, chunk)
+            mem.write_span(d, data)
+            if index >= 0:
+                return dst
+            n = len(data)
+            d, s = d + n, s + n
+            copied += n
+            continue
         byte = mem.read_byte(s)
         mem.write_byte(d, byte)
         if byte == 0:
@@ -57,18 +119,33 @@ def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
 def strncpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> FatPointer:
     """Copy at most ``n`` bytes, NUL-padding like the C function."""
     s = src
-    copied = 0
+    i = 0
     hit_nul = False
-    for i in range(n):
-        if hit_nul:
-            mem.write_byte(dst + i, 0)
+    while i < n and not hit_nul:
+        chunk = _copy_span(mem, dst + i, s, n - i)
+        if chunk > 1:
+            data, index = mem.read_span_until(s, 0, chunk)
+            mem.write_span(dst + i, data)
+            hit_nul = index >= 0
+            i += len(data)
+            s = s + len(data)
             continue
         byte = mem.read_byte(s)
         mem.write_byte(dst + i, byte)
         if byte == 0:
             hit_nul = True
         s = s + 1
-        copied += 1
+        i += 1
+    # NUL-padding tail: one memset-style span write per safe window, falling
+    # back to byte writes only where the destination leaves its window.
+    while i < n:
+        span = min(mem.scan_span(dst + i), n - i)
+        if span > 0:
+            mem.write_span(dst + i, b"\x00" * span)
+            i += span
+        else:
+            mem.write_byte(dst + i, 0)
+            i += 1
     return dst
 
 
@@ -82,20 +159,59 @@ def strcat(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
 def strchr(mem: MemoryAccessor, s: FatPointer, ch: int, limit: int = SCAN_LIMIT) -> Optional[FatPointer]:
     """Return a pointer to the first occurrence of ``ch``, or None at NUL."""
     ptr = s
-    for _ in range(limit):
+    scanned = 0
+    target = ch & 0xFF
+    while scanned < limit:
+        span = min(mem.scan_span(ptr), limit - scanned)
+        if span > 1:
+            hit, nul = mem.find_bytes(ptr, (target, 0), span)
+            # The byte loop tests ``== ch`` before ``== 0`` at each position,
+            # so a hit at the NUL's own index still returns the pointer.
+            if hit >= 0 and (nul < 0 or hit <= nul):
+                return ptr + hit
+            if nul >= 0:
+                return None
+            ptr = ptr + span
+            scanned += span
+            continue
         byte = mem.read_byte(ptr)
-        if byte == (ch & 0xFF):
+        if byte == target:
             return ptr
         if byte == 0:
             return None
         ptr = ptr + 1
+        scanned += 1
     raise InfiniteLoopGuard(f"strchr scanned {limit} bytes")
 
 
 def strcmp(mem: MemoryAccessor, a: FatPointer, b: FatPointer, limit: int = SCAN_LIMIT) -> int:
     """Standard three-way string comparison."""
     pa, pb = a, b
-    for _ in range(limit):
+    scanned = 0
+    # Grow the comparison chunk geometrically: short strings (the common
+    # case) touch tens of bytes, while long equal prefixes quickly reach
+    # CHUNK-sized strides.  Without this, the Standard build — whose safe
+    # span runs to the end of the segment — would materialize CHUNK bytes
+    # from both strings to compare a 3-byte pair.
+    chunk = 64
+    while scanned < limit:
+        span = min(mem.scan_span(pa), mem.scan_span(pb), limit - scanned, chunk)
+        chunk = min(chunk * 4, CHUNK)
+        if span > 1:
+            da = mem.read_span(pa, span)
+            db = mem.read_span(pb, span)
+            if da == db:
+                nul = da.find(0)
+                if nul >= 0:
+                    return 0
+                pa, pb = pa + span, pb + span
+                scanned += span
+                continue
+            diff = next(i for i in range(span) if da[i] != db[i])
+            nul = da.find(0, 0, diff)
+            if nul >= 0:  # both strings end before the first difference
+                return 0
+            return -1 if da[diff] < db[diff] else 1
         ba = mem.read_byte(pa)
         bb = mem.read_byte(pb)
         if ba != bb:
@@ -103,6 +219,7 @@ def strcmp(mem: MemoryAccessor, a: FatPointer, b: FatPointer, limit: int = SCAN_
         if ba == 0:
             return 0
         pa, pb = pa + 1, pb + 1
+        scanned += 1
     raise InfiniteLoopGuard(f"strcmp scanned {limit} bytes")
 
 
@@ -128,12 +245,24 @@ def read_c_string(mem: MemoryAccessor, src: FatPointer, limit: int = SCAN_LIMIT)
     """Read a NUL-terminated string back into Python bytes."""
     out = bytearray()
     ptr = src
-    for _ in range(limit):
+    scanned = 0
+    while scanned < limit:
+        span = min(mem.scan_span(ptr), limit - scanned)
+        if span > 1:
+            data, nul = mem.read_span_until(ptr, 0, span)
+            if nul >= 0:
+                out += data[:nul]
+                return bytes(out)
+            out += data
+            ptr = ptr + span
+            scanned += span
+            continue
         byte = mem.read_byte(ptr)
         if byte == 0:
             return bytes(out)
         out.append(byte)
         ptr = ptr + 1
+        scanned += 1
     raise InfiniteLoopGuard(f"read_c_string scanned {limit} bytes without NUL")
 
 

@@ -26,7 +26,7 @@ class UnitKind(enum.Enum):
     NULL = "null"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class DataUnit:
     """One allocated object known to the object table.
 

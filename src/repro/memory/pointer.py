@@ -17,7 +17,7 @@ from typing import Union
 from repro.memory.data_unit import DataUnit, NULL_UNIT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FatPointer:
     """A typed pointer into the simulated address space.
 
@@ -63,9 +63,19 @@ class FatPointer:
         """True if dereferencing one byte here would be legal."""
         return self.referent.alive and self.referent.contains_offset(self.offset)
 
-    def bytes_remaining(self) -> int:
-        """Number of in-bounds bytes from this position to the end of the unit."""
-        return max(0, self.referent.size - self.offset)
+    def remaining(self) -> int:
+        """Length of the contiguous safe span starting at this pointer.
+
+        This is the in-bounds window query the bulk substrate paths are built
+        on: the number of bytes that can be accessed from here without any
+        policy intervention.  Zero for dead units and for pointers that start
+        out of bounds (including negative offsets), so a positive return value
+        guarantees ``[offset, offset + remaining())`` is entirely legal.
+        """
+        unit = self.referent
+        if not unit.alive or not (0 <= self.offset < unit.size):
+            return 0
+        return unit.size - self.offset
 
     # -- arithmetic ---------------------------------------------------------------
 

@@ -1,0 +1,231 @@
+"""Equivalence of the span-based cstring fast paths with per-byte references.
+
+The fast paths in :mod:`repro.memory.cstring` must be observably identical to
+the byte-at-a-time loops they replaced, under every policy, for everything a
+program (or the paper's evaluation) can see: returned values, the final memory
+image, the error-log event stream, and the policy's continuation statistics.
+The single intentional exception is ``checks_performed``, which now counts one
+check per span rather than per byte (see README "Performance").
+
+Each property builds two identically laid-out contexts, runs the reference
+byte loop on one and the shipped fast path on the other, and compares.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryFault
+from repro.memory import cstring
+from repro.memory.context import MemoryContext
+from repro.memory.pointer import FatPointer
+from tests.conftest import POLICY_CLASSES
+from tests.reference_cstring import (
+    ref_read_c_string,
+    ref_strchr,
+    ref_strcmp,
+    ref_strcpy,
+    ref_strlen,
+    ref_strncpy,
+)
+
+POLICY_NAMES = sorted(POLICY_CLASSES)
+
+
+# -- comparison plumbing -------------------------------------------------------
+
+
+def _observe(ctx, outcome):
+    """Everything a program can observe after one cstring call.
+
+    ``checks_performed`` is deliberately excluded: the fast path pays one
+    check per span instead of per byte, which is the documented invariant
+    change of this PR.
+    """
+    stats = ctx.policy.stats.as_dict()
+    stats.pop("checks_performed")
+    return {
+        "outcome": outcome,
+        "heap": bytes(ctx.space.heap.data),
+        "events": [
+            (event.kind, event.access, event.offset, event.length)
+            for event in ctx.error_log.events()
+        ],
+        "stats": stats,
+    }
+
+
+def _normalize(value, base_ptr):
+    """Make return values comparable across twin contexts."""
+    if isinstance(value, FatPointer):
+        # Pointers from different contexts never compare equal; the offset
+        # from the argument pointer is the meaningful identity.
+        return ("ptr", value.address - base_ptr.address)
+    return value
+
+
+def _run_twin(policy_name, setup, reference_op, fast_op):
+    """Run reference and fast implementations on twin contexts and compare.
+
+    ``SCAN_LIMIT`` is shrunk for the duration: runaway scans (overlapping
+    self-propagating copies, unterminated buffers under the Standard build)
+    otherwise walk the per-byte reference through up to a mebibyte of heap
+    per example.  Both implementations read the module global at call time,
+    so the guard fires identically.
+    """
+    observations = []
+    original_limit = cstring.SCAN_LIMIT
+    cstring.SCAN_LIMIT = 2048
+    try:
+        for operation in (reference_op, fast_op):
+            # Small segments: the default 4 MiB heap makes per-example
+            # snapshots the dominant cost of the whole suite.
+            ctx = MemoryContext(POLICY_CLASSES[policy_name](),
+                                heap_size=32 * 1024, stack_size=8 * 1024,
+                                globals_size=4 * 1024)
+            pointers = setup(ctx)
+            try:
+                outcome = ("ok", _normalize(operation(ctx.mem, *pointers), pointers[0]))
+            except MemoryFault as fault:
+                outcome = ("fault", type(fault).__name__)
+            observations.append(_observe(ctx, outcome))
+    finally:
+        cstring.SCAN_LIMIT = original_limit
+    reference, fast = observations
+    assert fast == reference
+
+
+# -- strategies ----------------------------------------------------------------
+
+policies = st.sampled_from(POLICY_NAMES)
+text = st.binary(min_size=0, max_size=48).map(lambda b: b.replace(b"\x00", b"\x01"))
+sizes = st.integers(min_value=1, max_value=64)
+COMMON_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestStrcpyFamily:
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, dst_size=sizes)
+    def test_strcpy_including_partial_overflow(self, policy, payload, dst_size):
+        """dst smaller than src straddles the unit boundary mid-copy."""
+
+        def setup(ctx):
+            src = ctx.alloc_c_string(payload)
+            dst = ctx.malloc(dst_size)
+            return dst, src
+
+        _run_twin(policy, setup, ref_strcpy, cstring.strcpy)
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, dst_size=sizes,
+           n=st.integers(min_value=0, max_value=96))
+    def test_strncpy_with_nul_padding(self, policy, payload, dst_size, n):
+        def setup(ctx):
+            src = ctx.alloc_c_string(payload)
+            dst = ctx.malloc(dst_size)
+            return dst, src
+
+        _run_twin(policy, setup,
+                  lambda mem, d, s: ref_strncpy(mem, d, s, n),
+                  lambda mem, d, s: cstring.strncpy(mem, d, s, n))
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, delta=st.integers(min_value=-8, max_value=8))
+    def test_strcpy_overlapping_regions(self, policy, payload, delta):
+        """Overlapping forward copies must self-propagate exactly like C."""
+
+        def setup(ctx):
+            buf = ctx.malloc(len(payload) + 24)
+            cstring.write_c_string(ctx.mem, buf + max(0, -delta), payload)
+            src = buf + max(0, -delta)
+            dst = src + delta
+            return dst, src
+
+        _run_twin(policy, setup, ref_strcpy, cstring.strcpy)
+
+
+class TestScanFamily:
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, limit=st.integers(min_value=0, max_value=80))
+    def test_strlen_with_guard_limits(self, policy, payload, limit):
+        def setup(ctx):
+            return (ctx.alloc_c_string(payload),)
+
+        _run_twin(policy, setup,
+                  lambda mem, s: ref_strlen(mem, s, limit),
+                  lambda mem, s: cstring.strlen(mem, s, limit))
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, ch=st.integers(min_value=0, max_value=255))
+    def test_strchr(self, policy, payload, ch):
+        def setup(ctx):
+            return (ctx.alloc_c_string(payload),)
+
+        def fast(mem, s):
+            found = cstring.strchr(mem, s, ch)
+            return None if found is None else found - s
+
+        def reference(mem, s):
+            found = ref_strchr(mem, s, ch)
+            return None if found is None else found - s
+
+        _run_twin(policy, setup, reference, fast)
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, left=text, right=text)
+    def test_strcmp(self, policy, left, right):
+        def setup(ctx):
+            return ctx.alloc_c_string(left), ctx.alloc_c_string(right)
+
+        _run_twin(policy, setup, ref_strcmp, cstring.strcmp)
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, missing_nul=st.booleans(),
+           limit=st.integers(min_value=0, max_value=512))
+    def test_read_c_string(self, policy, payload, missing_nul, limit):
+        """missing_nul plants a buffer with no terminator: the scan runs off
+        the unit and the policy decides what happens next.  An explicit limit
+        keeps the redirect policy — which wraps the scan back into the
+        NUL-free unit forever — bounded."""
+
+        def setup(ctx):
+            if missing_nul:
+                buf = ctx.malloc(max(1, len(payload)), name="unterminated")
+                ctx.mem.write(buf, payload[: max(1, len(payload))] or b"\x01")
+                return (buf,)
+            return (ctx.alloc_c_string(payload),)
+
+        _run_twin(policy, setup,
+                  lambda mem, s: ref_read_c_string(mem, s, limit),
+                  lambda mem, s: cstring.read_c_string(mem, s, limit))
+
+
+class TestRedirectWraparound:
+    """Redirect-policy bulk paths against their per-byte definition."""
+
+    @pytest.mark.parametrize("length", [1, 3, 8, 11, 24])
+    def test_redirected_read_wraps_like_per_byte(self, length):
+        ctx = MemoryContext(POLICY_CLASSES["redirect"]())
+        buf = ctx.malloc(8)
+        ctx.mem.write(buf, b"01234567")
+        data = ctx.mem.read(buf + 9, length)
+        expected = bytes(b"01234567"[(9 + i) % 8] for i in range(length))
+        assert data == expected
+
+    @pytest.mark.parametrize("length", [1, 3, 8, 11, 24])
+    def test_redirected_write_wraps_like_per_byte(self, length):
+        reference_ctx = MemoryContext(POLICY_CLASSES["redirect"]())
+        fast_ctx = MemoryContext(POLICY_CLASSES["redirect"]())
+        payload = bytes((i * 37 + 5) % 256 for i in range(length))
+        images = []
+        for ctx, bulk in ((reference_ctx, False), (fast_ctx, True)):
+            buf = ctx.malloc(8)
+            ctx.mem.write(buf, b"01234567")
+            if bulk:
+                ctx.mem.write(buf + 9, payload)
+            else:
+                for i, byte in enumerate(payload):
+                    ctx.mem.write_byte(buf + 9 + i, byte)
+            images.append(ctx.mem.read(buf, 8))
+        assert images[0] == images[1]

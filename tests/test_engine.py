@@ -7,7 +7,7 @@ through every engine workload shape with zero edits to any harness module.
 
 import pytest
 
-from repro.harness.engine import ENGINE, ExperimentEngine, ScenarioSpec
+from repro.harness.engine import ENGINE, ExperimentEngine, ScenarioSpec, SecurityCell
 from repro.harness.stability import run_stability_experiment
 from repro.servers import SERVER_CLASSES
 from repro.servers.base import Request, Response, Server, ServerError
@@ -222,3 +222,49 @@ class TestServerStop:
             toy_profile.name, "failure-oblivious", total_requests=8, attack_every=4
         )
         assert direct.flawless
+
+
+class TestRunMany:
+    """The pooled fan-out must be observably identical to the serial path."""
+
+    def test_serial_and_parallel_results_identical(self):
+        specs = [
+            ScenarioSpec(server=name, policy=policy, workload="attack", scale=0.1)
+            for name in sorted(SERVER_CLASSES)
+            for policy in ("standard", "bounds-check", "failure-oblivious")
+        ]
+        serial = ENGINE.run_many(specs)
+        parallel = ENGINE.run_many(specs, workers=4)
+        assert len(parallel) == len(specs)
+        serial_cells = [SecurityCell.from_scenario(s) for s in serial]
+        parallel_cells = [SecurityCell.from_scenario(s) for s in parallel]
+        assert serial_cells == parallel_cells
+
+    def test_security_matrix_parallel_matches_serial(self):
+        serial = ENGINE.run_security_matrix(scale=0.1)
+        parallel = ENGINE.run_security_matrix(scale=0.1, workers=3)
+        assert serial == parallel
+
+    def test_timed_results_carry_positive_wall_clock(self):
+        specs = [ScenarioSpec(server="mutt", workload="attack", scale=0.1)]
+        pairs = ENGINE.run_many(specs, timed=True)
+        assert len(pairs) == 1
+        result, seconds = pairs[0]
+        assert result.server == "mutt"
+        assert seconds > 0
+
+    def test_workers_one_is_the_serial_path(self):
+        specs = [ScenarioSpec(server="pine", workload="attack", scale=0.1)]
+        assert ENGINE.run_many(specs, workers=1)[0].server == "pine"
+
+    def test_custom_workload_survives_the_fork(self, toy_profile):
+        engine = ExperimentEngine()
+        engine.register_workload(
+            "boot-only",
+            lambda eng, spec: eng.build_server(spec.server, spec.policy).start().outcome.value,
+        )
+        specs = [
+            ScenarioSpec(server=toy_profile.name, workload="boot-only"),
+            ScenarioSpec(server="mutt", workload="boot-only", scale=0.1),
+        ]
+        assert engine.run_many(specs, workers=2) == ["served", "served"]

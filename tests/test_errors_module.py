@@ -69,3 +69,30 @@ class TestOutcomes:
     def test_event_describe_mentions_kind_and_access(self):
         text = event(kind=ErrorKind.USE_AFTER_FREE, access=AccessKind.READ).describe()
         assert "use-after-free" in text and "read" in text
+
+
+class TestExceptionPickling:
+    """Faults cross process-pool boundaries inside RequestResults (run_many)."""
+
+    def test_memory_faults_round_trip_through_pickle(self):
+        import pickle
+
+        from repro.errors import (
+            BoundsCheckViolation,
+            ControlFlowHijack,
+            SegmentationFault,
+            UseAfterFree,
+        )
+
+        faults = [
+            SegmentationFault(0x2000_0010),
+            BoundsCheckViolation(event()),
+            UseAfterFree(event(kind=ErrorKind.USE_AFTER_FREE)),
+            ControlFlowHijack(0x7000_0000, "payload-tag"),
+        ]
+        for fault in faults:
+            clone = pickle.loads(pickle.dumps(fault))
+            assert type(clone) is type(fault)
+            assert str(clone) == str(fault)
+        assert pickle.loads(pickle.dumps(faults[0])).address == 0x2000_0010
+        assert pickle.loads(pickle.dumps(faults[3])).payload_tag == "payload-tag"

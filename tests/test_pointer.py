@@ -38,10 +38,16 @@ class TestBasics:
         ptr.referent.alive = False
         assert not ptr.in_bounds
 
-    def test_bytes_remaining(self):
+    def test_remaining(self):
         ptr = make_ptr(size=10)
-        assert (ptr + 3).bytes_remaining() == 7
-        assert (ptr + 12).bytes_remaining() == 0
+        assert (ptr + 3).remaining() == 7
+        assert (ptr + 12).remaining() == 0
+        assert (ptr - 2).remaining() == 0  # negative offsets have no safe span
+
+    def test_remaining_zero_for_dead_unit(self):
+        ptr = make_ptr(size=10)
+        ptr.referent.alive = False
+        assert ptr.remaining() == 0
 
     def test_to_unit_constructor(self):
         unit = make_unit(name="x", base=50, size=4, kind=UnitKind.STACK)
