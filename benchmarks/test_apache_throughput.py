@@ -7,7 +7,6 @@ from repro.core.policies import POLICY_NAMES
 from repro.harness.experiments import run_experiment
 from repro.servers.apache import ChildProcessPool
 from repro.workloads.attacks import apache_attack_request, apache_vulnerable_config
-from repro.workloads.streams import throughput_stream
 
 
 @pytest.mark.parametrize("policy", ["standard", "bounds-check", "failure-oblivious"])

@@ -7,7 +7,6 @@ from repro.core.manufacture import ManufacturedValueSequence, ZeroValueSequence
 from repro.core.policies import FailureObliviousPolicy
 from repro.errors import RequestOutcome
 from repro.harness.experiments import run_experiment
-from repro.harness.runner import build_server
 from repro.servers.base import Request
 from repro.servers.midnight_commander import MidnightCommanderServer
 from repro.workloads.benign import midnight_commander_vfs_files

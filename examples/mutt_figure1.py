@@ -15,7 +15,7 @@ Run with:  python examples/mutt_figure1.py
 """
 
 from repro import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
-from repro.errors import BoundsCheckViolation, HeapCorruption, RequestOutcome, SegmentationFault
+from repro.errors import BoundsCheckViolation, HeapCorruption, SegmentationFault
 from repro.minic import compile_program
 from repro.minic.figure1 import FIGURE1_SOURCE
 from repro.minic.interpreter import TypedPointer

@@ -22,12 +22,36 @@ loop).  This module measures both for our simulated servers:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import RequestOutcome
 from repro.harness.engine import ENGINE
-from repro.servers.base import Request, Server
+from repro.servers.base import Request
+from repro.telemetry.events import InvalidAccess
+from repro.telemetry.sinks import Sink
+
+
+class TraceRecorder(Sink):
+    """Correlate invalid accesses with request traces from the event stream.
+
+    Replaces the pre-telemetry bookkeeping that re-derived request/error
+    correlation from each :class:`~repro.errors.RequestResult`: the recorder
+    simply watches the server's bus and indexes
+    :class:`~repro.telemetry.events.InvalidAccess` events by the request
+    (trace) id stamped on them.
+    """
+
+    def __init__(self) -> None:
+        self.invalid_by_request: Counter = Counter()
+
+    def emit(self, event: object) -> None:
+        if isinstance(event, InvalidAccess) and event.error.request_id is not None:
+            self.invalid_by_request[event.error.request_id] += 1
+
+    def had_errors(self, request_id: int) -> bool:
+        """True if the trace for ``request_id`` attempted any memory error."""
+        return self.invalid_by_request[request_id] > 0
 
 
 @dataclass
@@ -84,21 +108,28 @@ def measure_propagation(
         result = reference.process(_clone_request(requests[position]))
         reference_results[position] = _response_signature(result)
 
-    # Observed run: the full stream, attacks included.
+    # Observed run: the full stream, attacks included.  Error/request
+    # correlation comes from the telemetry stream, not per-result bookkeeping:
+    # the recorder indexes InvalidAccess events by their trace (request) id.
     observed = ENGINE.build_server(server_name, policy_name, plant_attack=True, scale=scale)
+    recorder = observed.add_telemetry_sink(TraceRecorder())
     observed.start()
     observed_results: Dict[int, object] = {}
-    error_positions: List[int] = []
+    trace_ids: Dict[int, int] = {}
     dead_from: Optional[int] = None
     for position, request in enumerate(requests):
         if not observed.alive:
             dead_from = position if dead_from is None else dead_from
             break
-        result = observed.process(_clone_request(request))
-        if result.memory_errors:
-            error_positions.append(position)
+        clone = _clone_request(request)
+        trace_ids[position] = clone.request_id
+        result = observed.process(clone)
         if not request.is_attack:
             observed_results[position] = _response_signature(result)
+    error_positions: List[int] = [
+        position for position, trace_id in sorted(trace_ids.items())
+        if recorder.had_errors(trace_id)
+    ]
 
     report = PropagationReport(
         server=server_name,

@@ -19,19 +19,29 @@ Regenerate a figure or experiment table::
 Run the documented attack against one server under one build::
 
     python -m repro attack mutt --policy failure-oblivious
+
+Export a run's telemetry stream as JSONL and query it offline::
+
+    python -m repro trace export tab-security --out matrix.jsonl --workers 4
+    python -m repro trace summary matrix.jsonl --server pine
+    python -m repro trace filter matrix.jsonl --site quote --out pine-quote.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.policies import POLICY_NAMES
 from repro.harness.engine import ENGINE, ScenarioSpec
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import format_trace_summary
 from repro.servers.profile import iter_profiles
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.summary import filter_records, iter_records, summarize_jsonl
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +76,47 @@ def _build_parser() -> argparse.ArgumentParser:
                                default="failure-oblivious")
     attack_parser.add_argument("--scale", type=float, default=0.25,
                                help="workload scale factor")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="export, filter, and summarize telemetry event streams"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    export_parser = trace_sub.add_parser(
+        "export", help="run one experiment and export its event stream as JSONL"
+    )
+    export_parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                               help="experiment id to run under telemetry export")
+    export_parser.add_argument("--out", default="trace.jsonl",
+                               help="output JSONL path (default: trace.jsonl)")
+    export_parser.add_argument("--repetitions", type=int, default=None,
+                               help="repetitions per figure cell (figures only)")
+    export_parser.add_argument("--scale", type=float, default=None,
+                               help="workload scale factor")
+    export_parser.add_argument("--workers", type=int, default=None,
+                               help="process count for experiments that fan out; "
+                                    "per-worker spill files are merged in spec order")
+
+    def add_trace_filters(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("file", help="JSONL trace produced by `repro trace export`")
+        parser.add_argument("--server", default=None, help="only events from this server")
+        parser.add_argument("--policy", default=None, help="only events from this build")
+        parser.add_argument("--site", default=None,
+                            help="only access events whose site contains this substring")
+        parser.add_argument("--kind", default=None,
+                            help="only request events with this request kind")
+
+    summary_parser = trace_sub.add_parser(
+        "summary", help="aggregate an exported trace (optionally filtered)"
+    )
+    add_trace_filters(summary_parser)
+
+    filter_parser = trace_sub.add_parser(
+        "filter", help="write the matching subset of an exported trace"
+    )
+    add_trace_filters(filter_parser)
+    filter_parser.add_argument("--out", default="-",
+                               help="output JSONL path ('-' for stdout, the default)")
     return parser
 
 
@@ -86,17 +137,20 @@ def _command_profiles() -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    kwargs = {}
+def _experiment_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Collect the experiment knobs this runner accepts, dropping others loudly.
+
+    Not every experiment accepts every knob.  Drop only the knobs this
+    experiment's runner does not take — loudly — instead of retrying with
+    all defaults, which would silently ignore the knobs it *does* accept.
+    """
+    kwargs: Dict[str, object] = {}
     if args.repetitions is not None:
         kwargs["repetitions"] = args.repetitions
     if args.scale is not None:
         kwargs["scale"] = args.scale
     if args.workers is not None:
         kwargs["workers"] = args.workers
-    # Not every experiment accepts every knob.  Drop only the knobs this
-    # experiment's runner does not take — loudly — instead of retrying with
-    # all defaults, which would silently ignore the knobs it *does* accept.
     runner = EXPERIMENTS[args.experiment]
     parameters = inspect.signature(runner).parameters
     accepts_kwargs = any(
@@ -110,7 +164,11 @@ def _command_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             del kwargs[name]
-    output = run_experiment(args.experiment, **kwargs)
+    return kwargs
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    output = run_experiment(args.experiment, **_experiment_kwargs(args))
     print(output)
     return 0
 
@@ -132,6 +190,65 @@ def _command_attack(args: argparse.Namespace) -> int:
     return 0 if scenario.continued_service or args.policy != "failure-oblivious" else 1
 
 
+def _command_trace_export(args: argparse.Namespace) -> int:
+    kwargs = _experiment_kwargs(args)
+    session = TelemetrySession()
+    try:
+        with session:
+            run_experiment(args.experiment, **kwargs)
+            written = session.merge(args.out)
+    finally:
+        session.cleanup()
+    print(f"exported {written} event(s) to {args.out}")
+    print()
+    print(format_trace_summary(summarize_jsonl(args.out)))
+    return 0
+
+
+def _command_trace_summary(args: argparse.Namespace) -> int:
+    summary = summarize_jsonl(
+        args.file, server=args.server, policy=args.policy,
+        site=args.site, kind=args.kind,
+    )
+    filters = ", ".join(
+        f"{name}={value}"
+        for name, value in (("server", args.server), ("policy", args.policy),
+                            ("site", args.site), ("kind", args.kind))
+        if value is not None
+    )
+    title = f"Telemetry trace summary: {args.file}" + (f" [{filters}]" if filters else "")
+    print(format_trace_summary(summary, title=title))
+    return 0
+
+
+def _command_trace_filter(args: argparse.Namespace) -> int:
+    records = filter_records(
+        iter_records(args.file), server=args.server, policy=args.policy,
+        site=args.site, kind=args.kind,
+    )
+    if args.out == "-":
+        for record in records:
+            print(json.dumps(record))
+        return 0
+    count = 0
+    with open(args.out, "w", encoding="utf-8") as out:
+        for record in records:
+            out.write(json.dumps(record) + "\n")
+            count += 1
+    print(f"wrote {count} matching event(s) to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        return _command_trace_export(args)
+    if args.trace_command == "summary":
+        return _command_trace_summary(args)
+    if args.trace_command == "filter":
+        return _command_trace_filter(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -143,6 +260,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "attack":
         return _command_attack(args)
+    if args.command == "trace":
+        return _command_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

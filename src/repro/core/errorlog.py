@@ -4,9 +4,18 @@
     augment the generated code to produce a log containing information about
     the program's attempts to commit memory errors."
 
-The log is a bounded, structured record of :class:`~repro.errors.MemoryErrorEvent`
-objects.  The stability experiments (§4.4.4, §4.5.4) read this log to make the
-same observations the authors made — e.g. that Sendmail commits a memory error
+Since the telemetry refactor this class is a *compatibility façade* over the
+unified event stream: :meth:`MemoryErrorLog.record` publishes an
+:class:`~repro.telemetry.events.InvalidAccess` event on the log's
+:class:`~repro.telemetry.bus.EventBus`, and every query reads back from the
+bounded :class:`~repro.telemetry.sinks.CoalescingRingSink` and aggregate
+:class:`~repro.telemetry.sinks.CounterSink` the façade keeps attached to that
+bus.  The answers are bit-identical to the pre-refactor log (the equivalence
+is asserted by ``tests/test_telemetry.py``), but the same events now also
+reach any experiment sinks and JSONL export sessions attached to the bus.
+
+The stability experiments (§4.4.4, §4.5.4) read this log to make the same
+observations the authors made — e.g. that Sendmail commits a memory error
 every time its daemon wakes up, and that Midnight Commander commits one for
 every blank line in its configuration file.
 """
@@ -17,6 +26,9 @@ from collections import Counter
 from typing import Iterable, Iterator, List, Optional
 
 from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import InvalidAccess
+from repro.telemetry.sinks import CoalescingRingSink, CounterSink
 
 
 class MemoryErrorLog:
@@ -27,30 +39,29 @@ class MemoryErrorLog:
     capacity:
         Maximum number of events retained.  Older events are dropped first,
         but aggregate counters keep counting, so long stability runs stay
-        cheap while still reporting totals.
+        cheap while still reporting totals.  Storage coalesces runs of
+        repeated same-site events (attack floods hitting the per-byte
+        out-of-bounds fallback), so retention is bounded by ``capacity``
+        events but costs one object per *run*.
+    bus:
+        The event bus this log records through.  A fresh private bus is
+        created when omitted, so standalone ``MemoryErrorLog()`` construction
+        keeps working exactly as before the telemetry refactor.
     """
 
-    def __init__(self, capacity: int = 10_000) -> None:
+    def __init__(self, capacity: int = 10_000, bus: Optional[EventBus] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._events: List[MemoryErrorEvent] = []
-        self._dropped = 0
-        self._total = 0
-        self._by_site: Counter = Counter()
-        self._by_kind: Counter = Counter()
-        self._by_access: Counter = Counter()
+        self.bus = bus if bus is not None else EventBus()
+        self._ring = CoalescingRingSink(capacity)
+        self._counts = CounterSink()
+        self.bus.attach(self._ring)
+        self.bus.attach(self._counts)
 
     def record(self, event: MemoryErrorEvent) -> None:
-        """Append one event, evicting the oldest if the log is full."""
-        self._total += 1
-        self._by_site[event.site] += 1
-        self._by_kind[event.kind] += 1
-        self._by_access[event.access] += 1
-        self._events.append(event)
-        if len(self._events) > self.capacity:
-            self._events.pop(0)
-            self._dropped += 1
+        """Publish one event on the bus (the ring evicts the oldest when full)."""
+        self.bus.emit(InvalidAccess(error=event))
 
     def extend(self, events: Iterable[MemoryErrorEvent]) -> None:
         """Record a batch of events."""
@@ -59,68 +70,74 @@ class MemoryErrorLog:
 
     def clear(self) -> None:
         """Discard all recorded events and reset counters."""
-        self._events.clear()
-        self._dropped = 0
-        self._total = 0
-        self._by_site.clear()
-        self._by_kind.clear()
-        self._by_access.clear()
+        self._ring.clear()
+        self._counts.clear()
 
     # -- queries ----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._ring)
 
     def __iter__(self) -> Iterator[MemoryErrorEvent]:
-        return iter(self._events)
+        return iter(self._ring.events())
 
     @property
     def total_recorded(self) -> int:
         """Number of events recorded over the log's lifetime (including evicted)."""
-        return self._total
+        return self._counts.invalid_total
 
     @property
     def dropped(self) -> int:
         """Number of events evicted because the log was full."""
-        return self._dropped
+        return self._ring.dropped
 
     def events(self) -> List[MemoryErrorEvent]:
         """Return a copy of the retained events, oldest first."""
-        return list(self._events)
+        return self._ring.events()
+
+    def tail(self, n: int) -> List[MemoryErrorEvent]:
+        """Return the newest ``n`` retained events in O(n), oldest first.
+
+        Equivalent to ``events()[-n:]`` without expanding the whole ring;
+        the per-request attribution in ``Server._execute`` leans on this.
+        """
+        return self._ring.tail(n)
 
     def count_by_site(self) -> Counter:
         """Return error counts keyed by source site label."""
-        return Counter(self._by_site)
+        return Counter(self._counts.invalid_by_site)
 
     def count_by_kind(self) -> Counter:
         """Return error counts keyed by :class:`~repro.errors.ErrorKind`."""
-        return Counter(self._by_kind)
+        return Counter(self._counts.invalid_by_kind)
 
     def count_reads(self) -> int:
         """Return how many invalid reads were recorded."""
-        return self._by_access.get(AccessKind.READ, 0)
+        return self._counts.invalid_by_access.get(AccessKind.READ, 0)
 
     def count_writes(self) -> int:
         """Return how many invalid writes were recorded."""
-        return self._by_access.get(AccessKind.WRITE, 0)
+        return self._counts.invalid_by_access.get(AccessKind.WRITE, 0)
 
     def events_for_request(self, request_id: int) -> List[MemoryErrorEvent]:
         """Return retained events tagged with the given request id."""
-        return [e for e in self._events if e.request_id == request_id]
+        return [e for e in self._ring.events() if e.request_id == request_id]
 
     def most_common_sites(self, n: int = 5) -> List[tuple]:
         """Return the ``n`` sites with the most recorded errors."""
-        return self._by_site.most_common(n)
+        return self._counts.invalid_by_site.most_common(n)
 
     def summary(self) -> str:
         """Return a multi-line human readable summary, as an administrator would read."""
         lines = [
-            f"memory error log: {self._total} error(s) recorded"
-            + (f" ({self._dropped} evicted)" if self._dropped else "")
+            f"memory error log: {self.total_recorded} error(s) recorded"
+            + (f" ({self.dropped} evicted)" if self.dropped else "")
         ]
-        for kind, count in sorted(self._by_kind.items(), key=lambda kv: -kv[1]):
+        for kind, count in sorted(
+            self._counts.invalid_by_kind.items(), key=lambda kv: -kv[1]
+        ):
             lines.append(f"  {kind.value}: {count}")
-        for site, count in self._by_site.most_common(5):
+        for site, count in self._counts.invalid_by_site.most_common(5):
             lines.append(f"  site {site or '<unknown>'}: {count}")
         return "\n".join(lines)
 
@@ -131,7 +148,7 @@ class MemoryErrorLog:
     ) -> List[MemoryErrorEvent]:
         """Return retained events matching the given filters."""
         result = []
-        for event in self._events:
+        for event in self._ring.events():
             if kind is not None and event.kind is not kind:
                 continue
             if site_substring is not None and site_substring not in event.site:

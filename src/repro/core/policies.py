@@ -26,6 +26,7 @@ from repro.core.errorlog import MemoryErrorLog
 from repro.core.manufacture import ManufacturedValueSequence
 from repro.core.policy import AccessDecision, AccessPolicy
 from repro.errors import BoundsCheckViolation, MemoryErrorEvent, UseAfterFree, ErrorKind
+from repro.telemetry.events import Discard, Manufacture, Redirect
 
 
 class StandardPolicy(AccessPolicy):
@@ -98,11 +99,13 @@ class FailureObliviousPolicy(AccessPolicy):
         self.record_event(event)
         data = self.sequence.next_bytes(length)
         self.stats.manufactured_values += length
+        self.emit(Manufacture(length=length, site=event.site, request_id=event.request_id))
         return AccessDecision.supply(data)
 
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         self.record_event(event)
         self.stats.discarded_bytes += len(data)
+        self.emit(Discard(length=len(data), site=event.site, request_id=event.request_id))
         return AccessDecision.discard()
 
 
@@ -145,21 +148,34 @@ class BoundlessPolicy(FailureObliviousPolicy):
             for key, byte in zip(keys, data):
                 self._store[key] = byte
             self.stats.stored_out_of_bounds_bytes += new_bytes
+            # length counts only the newly stored offsets, mirroring
+            # stats.stored_out_of_bounds_bytes, so trace summaries and the
+            # paper-facing policy statistics agree; pure overwrites emit
+            # nothing, like the zero-manufacture guard on the read path.
+            if new_bytes:
+                self.emit(Discard(length=new_bytes, site=event.site,
+                                  request_id=event.request_id, stored=True))
             return AccessDecision.discard()
         # Store full: degrade gracefully to plain failure-oblivious behaviour.
         self.stats.discarded_bytes += len(data)
+        self.emit(Discard(length=len(data), site=event.site, request_id=event.request_id))
         return AccessDecision.discard()
 
     def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
         self.record_event(event)
         data = bytearray()
+        manufactured = 0
         for i in range(length):
             key = self._key(event, event.offset + i)
             if key in self._store:
                 data.append(self._store[key])
             else:
                 data.append(self.sequence.next_byte())
-                self.stats.manufactured_values += 1
+                manufactured += 1
+        if manufactured:
+            self.stats.manufactured_values += manufactured
+            self.emit(Manufacture(length=manufactured, site=event.site,
+                                  request_id=event.request_id))
         return AccessDecision.supply(bytes(data))
 
     def stored_bytes(self) -> int:
@@ -193,17 +209,29 @@ class RedirectPolicy(AccessPolicy):
         if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
             data = self.sequence.next_bytes(length)
             self.stats.manufactured_values += length
+            self.emit(Manufacture(length=length, site=event.site,
+                                  request_id=event.request_id))
             return AccessDecision.supply(data)
         self.stats.redirected_accesses += 1
-        return AccessDecision.redirect(event.offset % event.unit_size)
+        target = event.offset % event.unit_size
+        self.emit(Redirect(offset=event.offset, redirect_offset=target,
+                           length=length, access=event.access.value,
+                           site=event.site, request_id=event.request_id))
+        return AccessDecision.redirect(target)
 
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         self.record_event(event)
         if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
             self.stats.discarded_bytes += len(data)
+            self.emit(Discard(length=len(data), site=event.site,
+                              request_id=event.request_id))
             return AccessDecision.discard()
         self.stats.redirected_accesses += 1
-        return AccessDecision.redirect(event.offset % event.unit_size)
+        target = event.offset % event.unit_size
+        self.emit(Redirect(offset=event.offset, redirect_offset=target,
+                           length=len(data), access=event.access.value,
+                           site=event.site, request_id=event.request_id))
+        return AccessDecision.redirect(target)
 
 
 #: Registry of policy names used by the harness's command-line style configuration.

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errorlog import MemoryErrorLog
 from repro.errors import MemoryErrorEvent
+from repro.telemetry.bus import EventBus
 
 
 class DecisionAction(enum.Enum):
@@ -138,6 +139,9 @@ class AccessPolicy(ABC):
     def __init__(self, error_log: Optional[MemoryErrorLog] = None) -> None:
         self.error_log = error_log if error_log is not None else MemoryErrorLog()
         self.stats = PolicyStatistics()
+        # Scope exported telemetry records with the build name; setdefault so
+        # a log (and bus) shared between policies keeps its first owner.
+        self.bus.scope.setdefault("policy", self.name)
 
     # -- hooks ---------------------------------------------------------------
 
@@ -150,6 +154,15 @@ class AccessPolicy(ABC):
         """Decide what to do about an invalid write of ``data``."""
 
     # -- shared bookkeeping ----------------------------------------------------
+
+    @property
+    def bus(self) -> EventBus:
+        """The telemetry bus this policy publishes on (owned by its error log)."""
+        return self.error_log.bus
+
+    def emit(self, event: object) -> None:
+        """Publish one telemetry event (continuation decisions, mostly)."""
+        self.error_log.bus.emit(event)
 
     def note_check(self) -> None:
         """Record that one bounds check was executed."""

@@ -38,6 +38,8 @@ from repro.errors import RequestOutcome, RequestResult
 from repro.harness.timing import TimingResult, measure_paired, slowdown, wall_clock
 from repro.servers.base import Server
 from repro.servers.profile import PROFILES, ServerProfile, get_profile
+from repro.telemetry.events import ScenarioEnd, ScenarioStart
+from repro.telemetry.session import current_session
 
 __all__ = [
     "ScenarioSpec",
@@ -56,18 +58,23 @@ __all__ = [
 _POOL_ENGINE: Optional["ExperimentEngine"] = None
 
 
-def _pool_run_spec(spec: "ScenarioSpec") -> Tuple[object, float]:
-    """Run one spec in a pool worker, returning (result, wall-clock seconds)."""
+def _pool_run_spec(indexed_spec: "Tuple[int, ScenarioSpec]") -> Tuple[object, float]:
+    """Run one spec in a pool worker, returning (result, wall-clock seconds).
+
+    The spec index rides along as the scenario id so that telemetry exported
+    from different workers merges back in spec order.
+    """
     engine = _POOL_ENGINE if _POOL_ENGINE is not None else ENGINE
-    return _pool_run_spec_serial(engine, spec)
+    index, spec = indexed_spec
+    return _pool_run_spec_serial(engine, spec, scenario_id=index)
 
 
 def _pool_run_spec_serial(
-    engine: "ExperimentEngine", spec: "ScenarioSpec"
+    engine: "ExperimentEngine", spec: "ScenarioSpec", scenario_id: Optional[int] = None
 ) -> Tuple[object, float]:
     """Run one spec in-process, returning (result, wall-clock seconds)."""
     started = wall_clock()
-    result = engine.run(spec)
+    result = engine.run(spec, scenario_id=scenario_id)
     return result, wall_clock() - started
 
 
@@ -284,15 +291,36 @@ class ExperimentEngine:
 
     # -- dispatch ------------------------------------------------------------------
 
-    def run(self, spec: ScenarioSpec) -> object:
-        """Run one scenario, dispatching on its workload shape."""
+    def run(self, spec: ScenarioSpec, scenario_id: Optional[int] = None) -> object:
+        """Run one scenario, dispatching on its workload shape.
+
+        When a telemetry session is active the run is bracketed with
+        :class:`~repro.telemetry.events.ScenarioStart` /
+        :class:`~repro.telemetry.events.ScenarioEnd` events and every event
+        emitted in between is stamped with the scenario id (``scenario_id``
+        when given — ``run_many`` passes the spec index — otherwise assigned
+        by the session).
+        """
         try:
             runner = self._workloads[spec.workload]
         except KeyError:
             raise KeyError(
                 f"unknown workload {spec.workload!r}; expected one of {sorted(self._workloads)}"
             ) from None
-        return runner(self, spec)
+        session = current_session()
+        if session is None:
+            return runner(self, spec)
+        sid = session.begin_scenario(scenario_id)
+        session.write(
+            ScenarioStart(scenario_id=sid, server=spec.server, policy=spec.policy,
+                          workload=spec.workload, scale=spec.scale)
+        )
+        started = wall_clock()
+        try:
+            return runner(self, spec)
+        finally:
+            session.write(ScenarioEnd(scenario_id=sid, seconds=wall_clock() - started))
+            session.end_scenario()
 
     def run_many(
         self,
@@ -336,11 +364,14 @@ class ExperimentEngine:
                     with ProcessPoolExecutor(
                         max_workers=min(count, len(specs)), mp_context=context
                     ) as pool:
-                        pairs = list(pool.map(_pool_run_spec, specs))
+                        pairs = list(pool.map(_pool_run_spec, enumerate(specs)))
                 finally:
                     _POOL_ENGINE = None
         if not pairs:
-            pairs = [_pool_run_spec_serial(self, spec) for spec in specs]
+            pairs = [
+                _pool_run_spec_serial(self, spec, scenario_id=index)
+                for index, spec in enumerate(specs)
+            ]
         if timed:
             return pairs
         return [result for result, _seconds in pairs]

@@ -5,6 +5,10 @@ Failure Oblivious time, Slowdown) and adds a security matrix table summarizing
 the §4.x.2 results.  The absolute times are from this reproduction's simulated
 servers; the columns and the slowdown ratios are what should be compared with
 the paper.
+
+:func:`format_trace_summary` renders the aggregate view of an exported
+telemetry stream (``repro trace summary``); it is the same table whether the
+counts came from a live run's sinks or from re-reading a JSONL export.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Iterable, List, Sequence
 
 from repro.errors import RequestOutcome
 from repro.harness.runner import FigureRow, SecurityCell, FIGURE_NUMBERS
+from repro.telemetry.summary import TraceSummary
 
 
 def _format_cell(mean_ms: float, stdev_percent: float) -> str:
@@ -96,3 +101,52 @@ def format_simple_table(headers: Sequence[str], rows: Sequence[Sequence[object]]
     for text_row in text_rows:
         lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(text_row)))
     return "\n".join(lines)
+
+
+def format_trace_summary(summary: TraceSummary, title: str = "") -> str:
+    """Render the aggregate view of one exported telemetry stream."""
+    heading = title or "Telemetry trace summary"
+    sections: List[str] = [heading, ""]
+    overview_rows = [
+        ("events", summary.total_events),
+        ("scenarios", summary.scenarios),
+        ("invalid accesses", summary.invalid_total),
+        ("manufactured bytes", summary.manufactured_bytes),
+        ("discarded bytes", summary.discarded_bytes),
+        ("stored OOB bytes", summary.stored_bytes),
+        ("redirected accesses", summary.redirected_accesses),
+        ("allocations / frees", f"{summary.allocations} / {summary.frees}"),
+        ("attack requests", summary.attack_requests),
+    ]
+    sections.append(format_simple_table(["measure", "value"], overview_rows))
+    if summary.by_type:
+        sections.append("")
+        sections.append(format_simple_table(
+            ["event type", "count"], sorted(summary.by_type.items()),
+            title="Events by type",
+        ))
+    if summary.requests_by_outcome:
+        sections.append("")
+        sections.append(format_simple_table(
+            ["outcome", "requests"], sorted(summary.requests_by_outcome.items()),
+            title="Requests by outcome",
+        ))
+    if summary.invalid_by_site:
+        sections.append("")
+        sections.append(format_simple_table(
+            ["site", "errors"], summary.invalid_by_site.most_common(10),
+            title="Hottest error sites",
+        ))
+    if summary.servers:
+        sections.append("")
+        sections.append(format_simple_table(
+            ["server", "events"], sorted(summary.servers.items()),
+            title="Events by server",
+        ))
+    if summary.policies:
+        sections.append("")
+        sections.append(format_simple_table(
+            ["build", "events"], sorted(summary.policies.items()),
+            title="Events by build",
+        ))
+    return "\n".join(sections)

@@ -17,12 +17,53 @@ restarted, and what the error log recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.errors import RequestOutcome
+from repro.errors import FATAL_OUTCOMES, RequestOutcome
 from repro.harness.engine import ENGINE
 from repro.servers.base import Server
+from repro.telemetry.events import RequestEnd
+from repro.telemetry.sinks import Sink
 from repro.workloads.streams import RequestStream, mixed_stream
+
+#: Outcome strings carried by RequestEnd events after which the process is gone.
+_FATAL_VALUES = frozenset(outcome.value for outcome in FATAL_OUTCOMES)
+
+
+class WorkloadTallySink(Sink):
+    """Aggregate the stability statistics from the server's event stream.
+
+    Consumes :class:`~repro.telemetry.events.RequestEnd` events only, skipping
+    startup traces (``__startup__``) so that restart boots mid-run do not
+    perturb the workload statistics — the same scoping the pre-telemetry
+    hand-rolled tallies had.  Attach it after session setup, run the workload,
+    then read the totals.
+    """
+
+    def __init__(self) -> None:
+        self.legitimate_served = 0
+        self.legitimate_failed = 0
+        self.attacks_survived = 0
+        self.server_deaths = 0
+        self.memory_errors = 0
+        self.error_sites: Dict[str, int] = {}
+
+    def emit(self, event: object) -> None:
+        if not isinstance(event, RequestEnd) or event.kind == "__startup__":
+            return
+        self.memory_errors += event.memory_errors
+        for site, count in event.error_sites:
+            self.error_sites[site] = self.error_sites.get(site, 0) + count
+        fatal = event.outcome in _FATAL_VALUES
+        if fatal:
+            self.server_deaths += 1
+        if event.is_attack:
+            if not fatal:
+                self.attacks_survived += 1
+        elif event.outcome == RequestOutcome.SERVED.value:
+            self.legitimate_served += 1
+        else:
+            self.legitimate_failed += 1
 
 
 @dataclass
@@ -99,11 +140,10 @@ def run_stability_experiment(
         for setup_request in ENGINE.profile(server_name).make_follow_ups():
             server.process(setup_request)
 
-    legitimate_served = 0
-    legitimate_failed = 0
-    attacks_survived = 0
-    memory_errors = 0
-    error_sites: Dict[str, int] = {}
+    # Every workload statistic below is aggregated from the server's event
+    # stream; the loop only drives requests and models the restart monitor.
+    tally = server.add_telemetry_sink(WorkloadTallySink())
+    unserved_while_down = 0
 
     for request in workload:
         if not server.alive:
@@ -112,22 +152,9 @@ def run_stability_experiment(
                 restarts += 1
             if not server.alive:
                 if not request.is_attack:
-                    legitimate_failed += 1
+                    unserved_while_down += 1
                 continue
-        result = server.process(request)
-        memory_errors += len(result.memory_errors)
-        for event in result.memory_errors:
-            error_sites[event.site] = error_sites.get(event.site, 0) + 1
-        if result.fatal:
-            server_deaths += 1
-        if request.is_attack:
-            if not result.fatal:
-                attacks_survived += 1
-        else:
-            if result.outcome is RequestOutcome.SERVED:
-                legitimate_served += 1
-            else:
-                legitimate_failed += 1
+        server.process(request)
 
     return StabilityResult(
         server=server_name,
@@ -135,11 +162,11 @@ def run_stability_experiment(
         total_requests=len(workload),
         attack_requests=workload.attack_count,
         legitimate_requests=workload.legitimate_count,
-        legitimate_served=legitimate_served,
-        legitimate_failed=legitimate_failed,
-        attacks_survived=attacks_survived,
-        server_deaths=server_deaths,
+        legitimate_served=tally.legitimate_served,
+        legitimate_failed=tally.legitimate_failed + unserved_while_down,
+        attacks_survived=tally.attacks_survived,
+        server_deaths=server_deaths + tally.server_deaths,
         restarts=restarts,
-        memory_errors_logged=memory_errors,
-        error_sites=error_sites,
+        memory_errors_logged=tally.memory_errors,
+        error_sites=tally.error_sites,
     )

@@ -22,7 +22,6 @@ from repro.errors import (
     AccessKind,
     ErrorKind,
     MemoryErrorEvent,
-    SegmentationFault,
 )
 from repro.memory.address_space import AddressSpace
 from repro.memory.data_unit import DataUnit

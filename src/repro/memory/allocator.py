@@ -20,6 +20,8 @@ from repro.errors import DoubleFree, HeapCorruption
 from repro.memory.address_space import AddressSpace
 from repro.memory.data_unit import DataUnit, UnitKind, make_unit
 from repro.memory.object_table import ObjectTable
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import AllocFree
 
 #: Chunk header layout: magic (4 bytes), user size (4 bytes), in-use flag (4 bytes),
 #: reserved (4 bytes).  16 bytes keeps user data reasonably aligned.
@@ -41,11 +43,22 @@ class HeapAllocator:
     object_table:
         The checker's object table; every allocation registers a data unit and
         every free retires it.
+    bus:
+        Optional telemetry bus; when present every ``malloc``/``free`` emits
+        an :class:`~repro.telemetry.events.AllocFree` event stamped with the
+        bus's current request id, so heap activity is correlated with the
+        request traces.
     """
 
-    def __init__(self, address_space: AddressSpace, object_table: ObjectTable) -> None:
+    def __init__(
+        self,
+        address_space: AddressSpace,
+        object_table: ObjectTable,
+        bus: Optional[EventBus] = None,
+    ) -> None:
         self.space = address_space
         self.table = object_table
+        self.bus = bus
         heap = address_space.heap
         self._heap_base = heap.base
         self._heap_end = heap.end
@@ -125,6 +138,10 @@ class HeapAllocator:
         self._live[user_base] = unit
         self.allocations += 1
         self.bytes_allocated += size
+        if self.bus is not None:
+            self.bus.emit(AllocFree(op="malloc", unit_name=unit.label(),
+                                    size=unit.size, base=user_base,
+                                    request_id=self.bus.current_request_id))
         return unit
 
     def calloc(self, count: int, size: int, name: str = "calloc") -> DataUnit:
@@ -151,6 +168,10 @@ class HeapAllocator:
         del self._live[unit.base]
         self._free.append((header_addr, HEADER_SIZE + user_size))
         self.frees += 1
+        if self.bus is not None:
+            self.bus.emit(AllocFree(op="free", unit_name=unit.label(),
+                                    size=unit.size, base=unit.base,
+                                    request_id=self.bus.current_request_id))
 
     def realloc(self, unit: Optional[DataUnit], size: int, name: str = "realloc") -> DataUnit:
         """Grow or shrink an allocation, copying the overlapping prefix."""

@@ -19,7 +19,6 @@ from repro.memory.accessor import MemoryAccessor
 from repro.memory.address_space import AddressSpace
 from repro.memory.allocator import HeapAllocator
 from repro.memory.cstring import read_c_string, write_c_string
-from repro.memory.data_unit import DataUnit
 from repro.memory.object_table import ObjectTable
 from repro.memory.pointer import FatPointer
 from repro.memory.stack import CallStack, StackFrame
@@ -45,11 +44,14 @@ class MemoryContext:
         globals_size: int = 64 * 1024,
     ) -> None:
         self.policy = policy if policy is not None else FailureObliviousPolicy()
+        #: The unified telemetry bus for this process image (owned by the
+        #: policy's error log, shared by the allocator and the server loop).
+        self.bus = self.policy.bus
         self.space = AddressSpace(
             globals_size=globals_size, heap_size=heap_size, stack_size=stack_size
         )
         self.table = ObjectTable()
-        self.heap = HeapAllocator(self.space, self.table)
+        self.heap = HeapAllocator(self.space, self.table, bus=self.bus)
         self.stack = CallStack(self.space, self.table)
         self.mem = MemoryAccessor(self.space, self.table, self.policy)
 
@@ -118,8 +120,9 @@ class MemoryContext:
         self.mem.set_site(site)
 
     def set_request(self, request_id: Optional[int]) -> None:
-        """Stamp subsequent error events with a request id."""
+        """Stamp subsequent error and telemetry events with a request id."""
         self.mem.set_request(request_id)
+        self.bus.current_request_id = request_id
 
     def check_cost(self) -> int:
         """Number of bounds checks executed so far (the overhead measure)."""

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.memory import cstring
-from repro.memory.pointer import FatPointer
 
 
 def _as_pointer(instance, value, function_name: str):

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.policy import AccessPolicy
-from repro.errors import RequestOutcome, RequestResult
+from repro.errors import RequestResult
 from repro.servers.base import Request, Response, Server, ServerError
 
 #: Number of capture offset pairs the stack buffer has room for (the real

@@ -40,6 +40,8 @@ from repro.errors import (
     UseAfterFree,
 )
 from repro.memory.context import MemoryContext
+from repro.telemetry.events import RequestEnd, RequestStart
+from repro.telemetry.sinks import Sink
 
 _request_ids = itertools.count(1)
 
@@ -140,6 +142,24 @@ class Server(ABC):
         self.requests_processed = 0
         self.restarts = 0
         self.history: List[RequestResult] = []
+        #: Experiment-attached telemetry sinks, re-attached across restarts so
+        #: an aggregator observes the server's whole lifetime, not one process
+        #: image (the bus itself is per-image: a restart makes a fresh one).
+        self._telemetry_sinks: List[Sink] = []
+        self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        """Label the fresh context's bus and re-attach persistent sinks."""
+        bus = self.ctx.bus
+        bus.scope.setdefault("server", self.name)
+        for sink in self._telemetry_sinks:
+            bus.attach(sink)
+
+    def add_telemetry_sink(self, sink: Sink) -> Sink:
+        """Attach a sink to this server's event stream, surviving restarts."""
+        self._telemetry_sinks.append(sink)
+        self.ctx.bus.attach(sink)
+        return sink
 
     # -- subclass hooks -----------------------------------------------------------
 
@@ -207,6 +227,7 @@ class Server(ABC):
         self.ctx = MemoryContext(
             self.policy, heap_size=self._heap_size, stack_size=self._stack_size
         )
+        self._wire_telemetry()
         self.alive = True
         self.started = False
         return self.start()
@@ -220,6 +241,10 @@ class Server(ABC):
     ) -> RequestResult:
         ctx = self.ctx
         ctx.set_request(request.request_id)
+        ctx.bus.emit(
+            RequestStart(request_id=request.request_id, kind=request.kind,
+                         is_attack=request.is_attack)
+        )
         errors_before = ctx.error_log.total_recorded
         start_time = time.perf_counter()
         outcome: RequestOutcome
@@ -257,8 +282,22 @@ class Server(ABC):
         if outcome in (RequestOutcome.CRASHED, RequestOutcome.TERMINATED_BY_CHECK,
                        RequestOutcome.EXPLOITED, RequestOutcome.HUNG):
             self.alive = False
-        new_events = ctx.error_log.events()[-(ctx.error_log.total_recorded - errors_before):] \
-            if ctx.error_log.total_recorded > errors_before else []
+        new_errors = ctx.error_log.total_recorded - errors_before
+        new_events = ctx.error_log.tail(new_errors) if new_errors > 0 else []
+        site_counts: Dict[str, int] = {}
+        for event in new_events:
+            site_counts[event.site] = site_counts.get(event.site, 0) + 1
+        ctx.bus.emit(
+            RequestEnd(
+                request_id=request.request_id,
+                kind=request.kind,
+                outcome=outcome.value,
+                is_attack=request.is_attack,
+                elapsed_seconds=elapsed,
+                memory_errors=len(new_events),
+                error_sites=tuple(site_counts.items()),
+            )
+        )
         return RequestResult(
             outcome=outcome,
             response=response,

@@ -29,10 +29,10 @@ Build behaviour:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import InfiniteLoopGuard
-from repro.memory.cstring import strcat, strlen, write_c_string
+from repro.memory.cstring import strcat, write_c_string
 from repro.servers.base import Request, Response, Server, ServerError
 
 #: Size of the stack buffer in which relative link names are accumulated.

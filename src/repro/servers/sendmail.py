@@ -22,7 +22,7 @@ Build behaviour reproduced here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.servers.base import Request, Response, Server, ServerError
 

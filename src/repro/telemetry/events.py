@@ -1,0 +1,217 @@
+"""Typed telemetry events: the vocabulary of the unified event stream.
+
+The paper's §3 error log records *attempted memory errors*; this module widens
+that record into a structured stream covering the whole request lifecycle, so
+that forensics ("which attack caused which anticipated error?"), per-site
+heatmaps, and soak-run dashboards are queries over one stream instead of
+ad-hoc bookkeeping in each harness layer:
+
+* :class:`InvalidAccess` — one attempted invalid access (wraps the paper's
+  :class:`~repro.errors.MemoryErrorEvent`), emitted by every checking policy.
+* :class:`Discard` / :class:`Manufacture` / :class:`Redirect` — the
+  continuation the policy executed for the access (failure-oblivious writes,
+  manufactured reads, §5.1 redirects).
+* :class:`AllocFree` — heap allocator activity, for leak/heap forensics.
+* :class:`RequestStart` / :class:`RequestEnd` — the server request lifecycle;
+  the ``request_id`` is the trace id correlating everything in between.
+* :class:`ScenarioStart` / :class:`ScenarioEnd` — one experiment scenario
+  (one :class:`~repro.harness.engine.ScenarioSpec` run), demarcating the
+  stream so exports of multi-scenario runs stay attributable.
+
+Every event type serializes to a flat JSON record via :func:`to_record` and
+back via :func:`from_record`; the round trip is exact (property-tested), which
+is what lets ``repro trace`` re-summarize an exported run offline with the
+same aggregate counts the live run produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple, Type
+
+from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent
+
+
+@dataclass(frozen=True)
+class InvalidAccess:
+    """One attempted invalid memory access (the §3 error-log entry)."""
+
+    error: MemoryErrorEvent
+
+
+@dataclass(frozen=True)
+class Discard:
+    """An invalid write whose bytes the policy dropped (or stored, boundless)."""
+
+    length: int
+    site: str = ""
+    request_id: Optional[int] = None
+    #: True when a boundless policy kept the bytes in its side store instead
+    #: of dropping them outright.
+    stored: bool = False
+
+
+@dataclass(frozen=True)
+class Manufacture:
+    """Manufactured bytes supplied for an invalid read."""
+
+    length: int
+    site: str = ""
+    request_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """An out-of-bounds access wrapped back into its unit (§5.1 redirect)."""
+
+    offset: int
+    redirect_offset: int
+    length: int
+    access: str = AccessKind.READ.value
+    site: str = ""
+    request_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AllocFree:
+    """One heap allocator operation (``malloc`` or ``free``)."""
+
+    op: str
+    unit_name: str
+    size: int
+    base: int
+    request_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RequestStart:
+    """A server began processing one request; ``request_id`` is the trace id."""
+
+    request_id: int
+    kind: str
+    is_attack: bool = False
+
+
+@dataclass(frozen=True)
+class RequestEnd:
+    """A server finished one request, with its classified outcome.
+
+    ``memory_errors`` and ``error_sites`` summarize the invalid accesses the
+    request provoked (the same per-request attribution
+    :class:`~repro.errors.RequestResult` carries), so aggregate consumers can
+    tally request-scoped error statistics from this one event without
+    replaying the interleaved :class:`InvalidAccess` stream.
+    """
+
+    request_id: int
+    kind: str
+    outcome: str
+    is_attack: bool = False
+    elapsed_seconds: float = 0.0
+    memory_errors: int = 0
+    error_sites: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioStart:
+    """One experiment scenario began (one ScenarioSpec dispatched by the engine)."""
+
+    scenario_id: int
+    server: str
+    policy: str
+    workload: str
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScenarioEnd:
+    """The scenario finished after ``seconds`` of wall clock."""
+
+    scenario_id: int
+    seconds: float = 0.0
+
+
+#: Registry mapping the on-disk ``event`` tag to the event class.
+EVENT_TYPES: Dict[str, type] = {
+    "invalid-access": InvalidAccess,
+    "discard": Discard,
+    "manufacture": Manufacture,
+    "redirect": Redirect,
+    "alloc-free": AllocFree,
+    "request-start": RequestStart,
+    "request-end": RequestEnd,
+    "scenario-start": ScenarioStart,
+    "scenario-end": ScenarioEnd,
+}
+
+_TYPE_NAMES = {cls: name for name, cls in EVENT_TYPES.items()}
+
+
+def event_name(event: object) -> str:
+    """Return the registry tag for an event instance (KeyError if unknown)."""
+    return _TYPE_NAMES[type(event)]
+
+
+def to_record(event: object) -> Dict[str, object]:
+    """Serialize one event to a flat JSON-compatible dict.
+
+    The ``event`` key carries the registry tag; :class:`InvalidAccess` flattens
+    its nested :class:`~repro.errors.MemoryErrorEvent` (enums as their string
+    values).  ``error_sites`` tuples become lists (JSON has no tuples); the
+    deserializer restores them.
+    """
+    if isinstance(event, InvalidAccess):
+        error = event.error
+        return {
+            "event": "invalid-access",
+            "kind": error.kind.value,
+            "access": error.access.value,
+            "unit_name": error.unit_name,
+            "unit_size": error.unit_size,
+            "offset": error.offset,
+            "length": error.length,
+            "site": error.site,
+            "request_id": error.request_id,
+        }
+    record: Dict[str, object] = {"event": event_name(event)}
+    for field in fields(event):
+        value = getattr(event, field.name)
+        if field.name == "error_sites":
+            value = [list(pair) for pair in value]
+        record[field.name] = value
+    return record
+
+
+def from_record(record: Dict[str, object]) -> object:
+    """Deserialize one :func:`to_record` dict back into its event instance.
+
+    Unknown keys (``scope``, ``scenario`` — stamped by the export session) are
+    ignored, so records read back from a ``repro trace`` export parse as-is.
+    """
+    tag = record.get("event")
+    try:
+        cls: Type = EVENT_TYPES[tag]  # type: ignore[index]
+    except KeyError:
+        raise ValueError(f"unknown event type {tag!r}") from None
+    if cls is InvalidAccess:
+        return InvalidAccess(
+            error=MemoryErrorEvent(
+                kind=ErrorKind(record["kind"]),
+                access=AccessKind(record["access"]),
+                unit_name=record["unit_name"],
+                unit_size=record["unit_size"],
+                offset=record["offset"],
+                length=record["length"],
+                site=record.get("site", ""),
+                request_id=record.get("request_id"),
+            )
+        )
+    kwargs = {}
+    for field in fields(cls):
+        if field.name not in record:
+            continue
+        value = record[field.name]
+        if field.name == "error_sites":
+            value = tuple((site, count) for site, count in value)
+        kwargs[field.name] = value
+    return cls(**kwargs)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.servers.apache import VULNERABLE_RULE, DEFAULT_REWRITE_RULES, RewriteRule
+from repro.servers.apache import VULNERABLE_RULE, DEFAULT_REWRITE_RULES
 from repro.servers.base import Request
 from repro.servers.midnight_commander import ArchiveEntry, LINKNAME_BUFFER_SIZE
 from repro.servers.pine import DEFAULT_MAILBOX, LENGTH_ESTIMATE_SLACK

@@ -18,7 +18,7 @@ All generators are deterministic; any randomness is driven by an explicit
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.servers.base import Request
 

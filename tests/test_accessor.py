@@ -4,10 +4,7 @@ import pytest
 
 from repro.core.policies import (
     BoundlessPolicy,
-    BoundsCheckPolicy,
-    FailureObliviousPolicy,
     RedirectPolicy,
-    StandardPolicy,
 )
 from repro.errors import BoundsCheckViolation, ErrorKind, SegmentationFault, UseAfterFree
 from repro.memory.context import MemoryContext

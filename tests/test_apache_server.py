@@ -1,13 +1,10 @@
 """Tests for the Apache reimplementation and child pool (paper §4.3)."""
 
-import pytest
-
 from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
 from repro.errors import RequestOutcome
 from repro.servers.apache import (
     ApacheServer,
     ChildProcessPool,
-    DEFAULT_REWRITE_RULES,
     RewriteRule,
     VULNERABLE_RULE,
 )

@@ -8,7 +8,6 @@ import pytest
 
 from repro.analysis.security import assess_security
 from repro.core.policies import POLICY_NAMES
-from repro.errors import RequestOutcome
 from repro.harness.runner import (
     run_attack_scenario,
     run_performance_figure,

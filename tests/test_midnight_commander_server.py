@@ -1,6 +1,5 @@
 """Tests for the Midnight Commander reimplementation (paper §4.5)."""
 
-import pytest
 
 from repro.core.manufacture import ZeroValueSequence
 from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy

@@ -6,7 +6,7 @@ from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, Stand
 from repro.errors import BoundsCheckViolation, InfiniteLoopGuard
 from repro.minic import compile_program
 from repro.minic.compiler import CompileError
-from repro.minic.interpreter import MiniCRuntimeError, TypedPointer
+from repro.minic.interpreter import MiniCRuntimeError
 
 
 def run(source, function="main", *args, policy=None):

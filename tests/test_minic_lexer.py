@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.minic.lexer import LexError, Token, TokenType, tokenize
+from repro.minic.lexer import LexError, TokenType, tokenize
 
 
 def kinds(source):

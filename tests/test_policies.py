@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.manufacture import ManufacturedValueSequence, ZeroValueSequence
+from repro.core.manufacture import ZeroValueSequence
 from repro.core.policies import (
     BoundlessPolicy,
     BoundsCheckPolicy,

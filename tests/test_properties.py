@@ -20,7 +20,7 @@ from repro.core.policies import (
     FailureObliviousPolicy,
     StandardPolicy,
 )
-from repro.errors import BoundsCheckViolation, MemoryFault, UseAfterFree
+from repro.errors import BoundsCheckViolation, UseAfterFree
 from repro.memory.context import MemoryContext
 
 small_sizes = st.integers(min_value=1, max_value=64)

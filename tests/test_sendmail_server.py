@@ -1,6 +1,5 @@
 """Tests for the Sendmail reimplementation (paper §4.4)."""
 
-import pytest
 
 from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
 from repro.errors import RequestOutcome

@@ -1,6 +1,5 @@
 """Tests for the shared server lifecycle (boot, process, classify, restart)."""
 
-import pytest
 
 from repro.core.policies import BoundsCheckPolicy, FailureObliviousPolicy, StandardPolicy
 from repro.errors import RequestOutcome

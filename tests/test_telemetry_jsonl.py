@@ -1,0 +1,196 @@
+"""JSONL serialization round-trips and the fork-pool spill/merge path."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent, RequestOutcome
+from repro.harness.engine import ENGINE, ScenarioSpec
+from repro.telemetry import (
+    AllocFree,
+    Discard,
+    EVENT_TYPES,
+    InvalidAccess,
+    Manufacture,
+    Redirect,
+    RequestEnd,
+    RequestStart,
+    ScenarioEnd,
+    ScenarioStart,
+    TelemetrySession,
+    event_name,
+    from_record,
+    iter_records,
+    summarize_jsonl,
+    to_record,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies: one per event type, composed into "any event".
+# ---------------------------------------------------------------------------
+
+text = st.text(max_size=24)
+request_ids = st.none() | st.integers(min_value=0, max_value=10**9)
+counts = st.integers(min_value=0, max_value=10**9)
+offsets = st.integers(min_value=-(10**9), max_value=10**9)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+outcomes = st.sampled_from([outcome.value for outcome in RequestOutcome])
+
+memory_errors = st.builds(
+    MemoryErrorEvent,
+    kind=st.sampled_from(ErrorKind),
+    access=st.sampled_from(AccessKind),
+    unit_name=text,
+    unit_size=counts,
+    offset=offsets,
+    length=counts,
+    site=text,
+    request_id=request_ids,
+)
+
+events = st.one_of(
+    st.builds(InvalidAccess, error=memory_errors),
+    st.builds(Discard, length=counts, site=text, request_id=request_ids,
+              stored=st.booleans()),
+    st.builds(Manufacture, length=counts, site=text, request_id=request_ids),
+    st.builds(Redirect, offset=offsets, redirect_offset=offsets, length=counts,
+              access=st.sampled_from(["read", "write"]), site=text,
+              request_id=request_ids),
+    st.builds(AllocFree, op=st.sampled_from(["malloc", "free"]), unit_name=text,
+              size=counts, base=counts, request_id=request_ids),
+    st.builds(RequestStart, request_id=counts, kind=text, is_attack=st.booleans()),
+    st.builds(RequestEnd, request_id=counts, kind=text, outcome=outcomes,
+              is_attack=st.booleans(), elapsed_seconds=finite_floats,
+              memory_errors=counts,
+              error_sites=st.lists(st.tuples(text, counts), max_size=4).map(tuple)),
+    st.builds(ScenarioStart, scenario_id=counts, server=text, policy=text,
+              workload=text, scale=finite_floats),
+    st.builds(ScenarioEnd, scenario_id=counts, seconds=finite_floats),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(event=events)
+    def test_every_event_round_trips_through_json(self, event):
+        """Acceptance: serialize -> JSON text -> deserialize is the identity."""
+        restored = from_record(json.loads(json.dumps(to_record(event))))
+        assert restored == event
+
+    @settings(max_examples=50, deadline=None)
+    @given(event=events)
+    def test_session_stamps_are_ignored_on_read(self, event):
+        record = to_record(event)
+        record["scope"] = {"server": "pine", "policy": "standard"}
+        record["scenario"] = 3
+        assert from_record(record) == event
+
+    def test_registry_names_are_bijective(self):
+        # Every registered type must round-trip its tag, so no event type can
+        # be exported without a parse path.
+        assert len(EVENT_TYPES) == 9
+        for name, cls in EVENT_TYPES.items():
+            assert event_name(cls.__new__(cls)) == name
+
+    def test_unknown_event_tag_is_rejected(self):
+        try:
+            from_record({"event": "mystery"})
+        except ValueError as exc:
+            assert "mystery" in str(exc)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
+
+
+class TestSessionSpillMerge:
+    ATTACK_SPECS = [
+        ScenarioSpec(server="pine", policy="failure-oblivious",
+                     workload="attack", scale=0.1),
+        ScenarioSpec(server="apache", policy="failure-oblivious",
+                     workload="attack", scale=0.1),
+        ScenarioSpec(server="mutt", policy="bounds-check",
+                     workload="attack", scale=0.1),
+    ]
+
+    def _export(self, tmp_path, name, workers):
+        out = tmp_path / f"{name}.jsonl"
+        with TelemetrySession(str(tmp_path / f"spill-{name}")) as session:
+            ENGINE.run_many(self.ATTACK_SPECS, workers=workers)
+            written = session.merge(str(out))
+        assert written > 0
+        return out
+
+    def test_fork_pool_merge_equals_serial_run(self, tmp_path):
+        """Acceptance: a --workers > 1 export re-summarizes identically."""
+        serial = self._export(tmp_path, "serial", workers=None)
+        forked = self._export(tmp_path, "forked", workers=2)
+        assert summarize_jsonl(str(serial)) == summarize_jsonl(str(forked))
+
+    def test_merge_orders_events_by_scenario(self, tmp_path):
+        out = self._export(tmp_path, "ordered", workers=2)
+        scenario_ids = [record["scenario"] for record in iter_records(str(out))]
+        assert scenario_ids == sorted(scenario_ids)
+        assert set(scenario_ids) == {0, 1, 2}
+
+    def test_merged_records_all_parse_back(self, tmp_path):
+        out = self._export(tmp_path, "parse", workers=2)
+        count = 0
+        for record in iter_records(str(out)):
+            event = from_record(record)
+            assert event_name(event) == record["event"]
+            count += 1
+        assert count > 0
+
+    def test_scenario_events_bracket_each_scenario(self, tmp_path):
+        out = self._export(tmp_path, "bracket", workers=None)
+        per_scenario = {}
+        for record in iter_records(str(out)):
+            per_scenario.setdefault(record["scenario"], []).append(record["event"])
+        for scenario_id, tags in per_scenario.items():
+            assert tags[0] == "scenario-start"
+            assert tags[-1] == "scenario-end"
+
+    def test_scope_stamps_server_and_policy(self, tmp_path):
+        out = self._export(tmp_path, "scoped", workers=None)
+        scoped = [r for r in iter_records(str(out)) if "scope" in r]
+        assert scoped, "expected scoped (bus-emitted) records"
+        servers = {r["scope"]["server"] for r in scoped}
+        assert servers == {"pine", "apache", "mutt"}
+
+    def test_cleanup_removes_spill_files(self, tmp_path):
+        session = TelemetrySession(str(tmp_path / "spills"))
+        with session:
+            ENGINE.run(self.ATTACK_SPECS[0])
+            session.merge(str(tmp_path / "out.jsonl"))
+        assert session.spill_paths()
+        session.cleanup()
+        assert session.spill_paths() == []
+
+    def test_request_traces_disambiguate_colliding_worker_ids(self, tmp_path):
+        """Forked workers reuse request ids; the scenario stamp keeps traces apart."""
+        from repro.telemetry import request_traces
+
+        out = self._export(tmp_path, "collide", workers=2)
+        traces = request_traces(iter_records(str(out)))
+        for trace in traces:
+            end = trace["end"]
+            if end is None:
+                continue
+            # Every event grouped under a trace must come from its scenario.
+            for record in trace["events"]:
+                assert record["scenario"] == trace["scenario"]
+            assert end["request_id"] == trace["request_id"]
+        # Each scenario has its own startup trace; with id collisions across
+        # workers these would have been merged into one.
+        startups = [t for t in traces if t["end"] and t["end"]["kind"] == "__startup__"]
+        assert len(startups) == len(self.ATTACK_SPECS)
+
+    def test_nested_sessions_are_rejected(self, tmp_path):
+        with TelemetrySession(str(tmp_path / "one")):
+            try:
+                with TelemetrySession(str(tmp_path / "two")):
+                    pass
+            except RuntimeError as exc:
+                assert "already active" in str(exc)
+            else:  # pragma: no cover - defensive
+                raise AssertionError("expected RuntimeError")
