@@ -63,6 +63,28 @@ REGRESSION_TOLERANCE = 0.30
 #: breakage of the fast path collapses the speedup to ~1x, far below this cap.
 BASELINE_SPEEDUP_CAP = 100.0
 
+#: Payload of the out-of-bounds flood (PR 4): a long attack string copied
+#: into a tiny buffer, so nearly every written byte is out of bounds and goes
+#: through the policy continuation.  Sized to stay under the boundless
+#: policy's default side-store capacity so its bulk-insert fast path (not the
+#: capacity-crossing slow path) is what gets measured.
+FLOOD_BYTES = (1 << 18) if FULL else (1 << 15)
+#: Flood payload for the per-byte reference (umpteen times slower).
+FLOOD_REFERENCE_BYTES = (1 << 13) if FULL else (1 << 11)
+#: Size of the overflowed destination buffer.
+FLOOD_DST_BYTES = 64
+#: Policies with a surviving continuation: the flood completes under these
+#: (bounds-check terminates at the first byte; standard segfaults).
+FLOOD_POLICIES = ("failure-oblivious", "boundless", "redirect")
+#: ISSUE 4 acceptance floor: the batched continuation must beat the per-byte
+#: fallback by at least two decimal orders on every flood policy.
+REQUIRED_OOB_SPEEDUP = 100.0
+#: Baseline cap and factor for the OOB regression gate: fail only on an
+#: order-of-magnitude collapse (the measured speedups sit between ~300x and
+#: ~50000x run-to-run; a broken batched path collapses to ~1x).
+OOB_BASELINE_SPEEDUP_CAP = 1000.0
+OOB_REGRESSION_FACTOR = 10.0
+
 
 # -- measurement ---------------------------------------------------------------
 
@@ -104,17 +126,59 @@ def _measure_policy(policy_name):
     }
 
 
-@pytest.fixture(scope="module")
-def substrate_report():
-    """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
-    baseline = None
+def _measure_flood(policy_name):
+    """Measure the out-of-bounds flood under one continuation policy.
+
+    The shipped path batches the invalid suffix into one policy decision per
+    source span; the reference is the frozen per-byte loop (one decision, one
+    error-log record, and one continuation event per byte).
+    """
+    policy_cls = POLICY_NAMES[policy_name]
+
+    ctx = MemoryContext(policy_cls(), heap_size=8 * FLOOD_BYTES)
+    src = ctx.alloc_c_string(b"x" * FLOOD_BYTES)
+    dst = ctx.malloc(FLOOD_DST_BYTES)
+    flood_rate = _best_rate(lambda: cstring.strcpy(ctx.mem, dst, src), FLOOD_BYTES)
+
+    ref_ctx = MemoryContext(policy_cls())
+    ref_src = ref_ctx.alloc_c_string(b"x" * FLOOD_REFERENCE_BYTES)
+    ref_dst = ref_ctx.malloc(FLOOD_DST_BYTES)
+    reference_rate = _best_rate(
+        lambda: ref_strcpy(ref_ctx.mem, ref_dst, ref_src),
+        FLOOD_REFERENCE_BYTES, rounds=1,
+    )
+
+    return {
+        "oob_flood_bytes_per_sec": round(flood_rate),
+        "per_byte_oob_flood_bytes_per_sec": round(reference_rate),
+        "oob_speedup_vs_per_byte": round(flood_rate / reference_rate, 1) if reference_rate else None,
+    }
+
+
+def _load_baseline():
     try:
         with open(BENCH_PATH, "r", encoding="utf-8") as handle:
-            baseline = json.load(handle)
+            return json.load(handle)
     except (OSError, ValueError):
-        pass
+        return None
+
+
+@pytest.fixture(scope="module")
+def flood_report():
+    """Measure only the OOB flood — the cheap fixture the CI fast-mode flood
+    step exercises (``-k oob_flood``) without paying for the policy sweep and
+    the figure wall clocks."""
+    return {name: _measure_flood(name) for name in FLOOD_POLICIES}
+
+
+@pytest.fixture(scope="module")
+def substrate_report(flood_report):
+    """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
+    baseline = _load_baseline()
 
     policies = {name: _measure_policy(name) for name in sorted(POLICY_NAMES)}
+    for name in FLOOD_POLICIES:
+        policies[name].update(flood_report[name])
 
     workers = bench_workers()
     figures = {}
@@ -128,7 +192,7 @@ def substrate_report():
         figures[experiment_id] = round(time.perf_counter() - started, 3)
 
     report = {
-        "schema": "repro-substrate-throughput/v1",
+        "schema": "repro-substrate-throughput/v2",
         "mode": "full" if FULL else "smoke",
         "python": platform.python_version(),
         "fast_payload_bytes": FAST_BYTES,
@@ -167,6 +231,22 @@ def test_every_policy_produces_throughput_numbers(substrate_report):
         assert row["strlen_bytes_per_sec"] > 0, name
 
 
+def test_oob_flood_meets_speedup_floor(flood_report):
+    """ISSUE 4 acceptance: batched continuation ≥100x over the per-byte fallback."""
+    for policy_name in FLOOD_POLICIES:
+        speedup = flood_report[policy_name]["oob_speedup_vs_per_byte"]
+        assert speedup is not None and speedup >= REQUIRED_OOB_SPEEDUP, (
+            f"{policy_name}: OOB flood only {speedup}x over the per-byte fallback"
+        )
+
+
+def test_oob_flood_rates_are_positive(flood_report):
+    for policy_name in FLOOD_POLICIES:
+        row = flood_report[policy_name]
+        assert row["oob_flood_bytes_per_sec"] > 0, policy_name
+        assert row["per_byte_oob_flood_bytes_per_sec"] > 0, policy_name
+
+
 def test_no_regression_against_committed_baseline(substrate_report):
     """CI gate: speedup must stay within 30% of the committed baseline."""
     if not ENFORCE:
@@ -186,4 +266,24 @@ def test_no_regression_against_committed_baseline(substrate_report):
         assert measured >= floor, (
             f"{name}: speedup {measured}x regressed >30% below baseline {reference}x "
             f"(gate floor {floor}x)"
+        )
+
+
+def test_no_oob_flood_regression_against_committed_baseline(flood_report):
+    """CI gate: the batched OOB continuation must not collapse by an order of
+    magnitude against the committed flood baseline."""
+    if not ENFORCE:
+        pytest.skip("baseline enforcement disabled (set REPRO_BENCH_ENFORCE=1)")
+    baseline = _load_baseline()
+    if not baseline or "policies" not in baseline:
+        pytest.skip("no committed baseline to compare against")
+    for name, row in baseline["policies"].items():
+        reference = row.get("oob_speedup_vs_per_byte")
+        measured = flood_report.get(name, {}).get("oob_speedup_vs_per_byte")
+        if reference is None or measured is None:
+            continue
+        floor = min(reference, OOB_BASELINE_SPEEDUP_CAP) / OOB_REGRESSION_FACTOR
+        assert measured >= floor, (
+            f"{name}: OOB flood speedup {measured}x collapsed an order of magnitude "
+            f"below baseline {reference}x (gate floor {floor}x)"
         )

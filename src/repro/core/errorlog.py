@@ -63,6 +63,19 @@ class MemoryErrorLog:
         """Publish one event on the bus (the ring evicts the oldest when full)."""
         self.bus.emit(InvalidAccess(error=event))
 
+    def record_run(self, event: MemoryErrorEvent, count: int, stride: int = 1) -> None:
+        """Publish a contiguous run of ``count`` per-byte events in one record.
+
+        Equivalent to recording ``count`` copies of ``event`` whose offsets
+        step by ``stride`` — every query answers identically — but the ring
+        stores the run directly and aggregate counters add ``count`` once,
+        which is what makes the batched out-of-bounds continuation as cheap
+        per span as a single event.
+        """
+        if count <= 0:
+            return
+        self.bus.emit(InvalidAccess(error=event, count=count, stride=stride))
+
     def extend(self, events: Iterable[MemoryErrorEvent]) -> None:
         """Record a batch of events."""
         for event in events:

@@ -26,7 +26,8 @@ from repro.core.errorlog import MemoryErrorLog
 from repro.core.manufacture import ManufacturedValueSequence
 from repro.core.policy import AccessDecision, AccessPolicy
 from repro.errors import BoundsCheckViolation, MemoryErrorEvent, UseAfterFree, ErrorKind
-from repro.telemetry.events import Discard, Manufacture, Redirect
+from repro.telemetry.events import AllocFree, Discard, Manufacture, Redirect
+from repro.telemetry.sinks import Sink
 
 
 class StandardPolicy(AccessPolicy):
@@ -55,6 +56,8 @@ class BoundsCheckPolicy(AccessPolicy):
 
     name = "bounds-check"
     performs_checks = True
+    supports_runs = True
+    supports_scan_runs = True
 
     def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
         self.record_event(event)
@@ -63,6 +66,18 @@ class BoundsCheckPolicy(AccessPolicy):
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         self.record_event(event)
         return AccessDecision.raise_(self._exception_for(event))
+
+    # A per-byte loop terminates at its first byte, so a batched run records
+    # exactly one single-byte event before raising — bit-identical logs.
+
+    def on_invalid_read_run(self, event: MemoryErrorEvent, count: int) -> AccessDecision:
+        return self.on_invalid_read(event, 1)
+
+    def on_invalid_write_run(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        return self.on_invalid_write(event, data[:1])
+
+    def scan_invalid_read_run(self, event, count, until):
+        return self.on_invalid_read(event, 1)
 
     @staticmethod
     def _exception_for(event: MemoryErrorEvent) -> BaseException:
@@ -86,6 +101,8 @@ class FailureObliviousPolicy(AccessPolicy):
 
     name = "failure-oblivious"
     performs_checks = True
+    supports_runs = True
+    supports_scan_runs = True
 
     def __init__(
         self,
@@ -108,15 +125,81 @@ class FailureObliviousPolicy(AccessPolicy):
         self.emit(Discard(length=len(data), site=event.site, request_id=event.request_id))
         return AccessDecision.discard()
 
+    # -- batched runs: one decision per contiguous out-of-bounds suffix ----------
+
+    def on_invalid_read_run(self, event: MemoryErrorEvent, count: int) -> AccessDecision:
+        self.record_event_run(event, count)
+        data = self.sequence.next_bytes(count)
+        self.stats.manufactured_values += count
+        self.emit(Manufacture(length=count, count=count, site=event.site,
+                              request_id=event.request_id))
+        return AccessDecision.supply(data)
+
+    def on_invalid_write_run(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        count = len(data)
+        self.record_event_run(event, count)
+        self.stats.discarded_bytes += count
+        self.emit(Discard(length=count, count=count, site=event.site,
+                          request_id=event.request_id))
+        return AccessDecision.discard()
+
+    def scan_invalid_read_run(self, event, count, until):
+        # Manufactured bytes are produced one at a time and stop after the
+        # first terminator, so the sequence consumption (and the number of
+        # per-byte events recorded) is exactly what the per-byte loop does.
+        out = bytearray()
+        for _ in range(count):
+            byte = self.sequence.next_byte()
+            out.append(byte)
+            if byte in until:
+                break
+        produced = len(out)
+        if produced:
+            self.record_event_run(event, produced)
+            self.stats.manufactured_values += produced
+            self.emit(Manufacture(length=produced, count=produced, site=event.site,
+                                  request_id=event.request_id))
+        return AccessDecision.supply(bytes(out))
+
+
+class _BoundlessReclaimSink(Sink):
+    """Bus listener that releases a freed unit's boundless side store.
+
+    Attached by :class:`BoundlessPolicy` to its own bus, on which the heap
+    allocator publishes :class:`~repro.telemetry.events.AllocFree`; a ``free``
+    drops every byte stored for that unit, so long soaks no longer leak
+    toward ``max_stored_bytes`` and silently degrade to discard mode.
+
+    Heap frees only: stack locals die by frame pop, which never reaches the
+    bus.  :class:`~repro.memory.context.MemoryContext` therefore additionally
+    wires :meth:`BoundlessPolicy.release_unit` to the object table's death
+    hook, the single choke point both heap and stack retirement go through;
+    this sink remains for policies used standalone (no context) whose events
+    arrive over a shared bus.  Releasing twice is a harmless no-op.
+    """
+
+    def __init__(self, policy: "BoundlessPolicy") -> None:
+        self._policy = policy
+
+    def emit(self, event: object) -> None:
+        if isinstance(event, AllocFree) and event.op == "free":
+            self._policy.release_unit(event.unit_name, event.size)
+
 
 class BoundlessPolicy(FailureObliviousPolicy):
     """§5.1 boundless memory blocks: out-of-bounds writes are remembered.
 
-    Invalid writes are stored in a hash table indexed by the data unit identity
-    and byte offset; invalid reads first consult the table and fall back to the
-    manufactured value sequence for bytes that were never written.  This
+    Invalid writes are stored in a per-unit hash table (unit identity →
+    offset → byte); invalid reads first consult the table and fall back to
+    the manufactured value sequence for bytes that were never written.  This
     "eliminates size calculation errors" — a program whose only mistake is an
     undersized buffer behaves as if the buffer were large enough.
+
+    The per-unit nesting is what makes the batched continuation cheap: a run
+    of out-of-bounds bytes resolves its unit bucket once and then works on
+    plain integer offsets (one dict op per byte instead of tuple construction
+    plus hashing per byte), bulk inserts take a single ``dict.update``, and
+    freeing a unit releases its whole bucket in O(1).
     """
 
     name = "boundless"
@@ -129,24 +212,31 @@ class BoundlessPolicy(FailureObliviousPolicy):
     ) -> None:
         super().__init__(error_log=error_log, sequence=sequence)
         self.max_stored_bytes = max_stored_bytes
-        self._store: Dict[Tuple[str, int, int], int] = {}
+        #: (unit_name, unit_size) → {offset: byte}.  The unit name carries the
+        #: allocation serial (``DataUnit.label()``), so buckets are unique per
+        #: allocation and can be reclaimed when the allocation is freed.
+        self._store: Dict[Tuple[str, int], Dict[int, int]] = {}
+        self._stored_total = 0
+        self.bus.attach(_BoundlessReclaimSink(self))
 
-    def _key(self, event: MemoryErrorEvent, offset: int) -> Tuple[str, int, int]:
-        # unit_name alone is not unique (many allocations share a label), so the
-        # unit's size participates too; the accessor additionally passes a unique
-        # unit serial through event.unit_name when available.
-        return (event.unit_name, event.unit_size, offset)
+    def _unit_store(self, event: MemoryErrorEvent, create: bool = False) -> Optional[Dict[int, int]]:
+        key = (event.unit_name, event.unit_size)
+        if create:
+            return self._store.setdefault(key, {})
+        return self._store.get(key)
 
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         self.record_event(event)
         # Overwriting an already-stored offset consumes no extra capacity and
         # must not inflate the stored-bytes statistic, so only the offsets not
         # yet in the table count against ``max_stored_bytes``.
-        keys = [self._key(event, event.offset + i) for i in range(len(data))]
-        new_bytes = sum(1 for key in keys if key not in self._store)
-        if len(self._store) + new_bytes <= self.max_stored_bytes:
-            for key, byte in zip(keys, data):
-                self._store[key] = byte
+        bucket = self._unit_store(event) or {}
+        new_bytes = sum(1 for i in range(len(data)) if event.offset + i not in bucket)
+        if self._stored_total + new_bytes <= self.max_stored_bytes:
+            self._unit_store(event, create=True).update(
+                (event.offset + i, byte) for i, byte in enumerate(data)
+            )
+            self._stored_total += new_bytes
             self.stats.stored_out_of_bounds_bytes += new_bytes
             # length counts only the newly stored offsets, mirroring
             # stats.stored_out_of_bounds_bytes, so trace summaries and the
@@ -163,24 +253,127 @@ class BoundlessPolicy(FailureObliviousPolicy):
 
     def on_invalid_read(self, event: MemoryErrorEvent, length: int) -> AccessDecision:
         self.record_event(event)
-        data = bytearray()
-        manufactured = 0
-        for i in range(length):
-            key = self._key(event, event.offset + i)
-            if key in self._store:
-                data.append(self._store[key])
-            else:
-                data.append(self.sequence.next_byte())
-                manufactured += 1
+        data, manufactured = self._lookup_bytes(event, length)
         if manufactured:
             self.stats.manufactured_values += manufactured
             self.emit(Manufacture(length=manufactured, site=event.site,
                                   request_id=event.request_id))
-        return AccessDecision.supply(bytes(data))
+        return AccessDecision.supply(data)
+
+    def _lookup_bytes(self, event: MemoryErrorEvent, length: int) -> Tuple[bytes, int]:
+        """Stored-else-manufactured bytes for ``length`` offsets, in order."""
+        bucket = self._unit_store(event)
+        if not bucket:
+            return self.sequence.next_bytes(length), length
+        out = bytearray()
+        manufactured = 0
+        get = bucket.get
+        for offset in range(event.offset, event.offset + length):
+            byte = get(offset)
+            if byte is None:
+                byte = self.sequence.next_byte()
+                manufactured += 1
+            out.append(byte)
+        return bytes(out), manufactured
+
+    # -- batched runs -----------------------------------------------------------
+    #
+    # The run hooks reproduce the *per-byte* capacity semantics, not the
+    # block hooks' all-or-nothing check: when the store is nearly full, a
+    # per-byte loop stores the first bytes that fit and discards the rest,
+    # and so does a batched run.
+
+    def on_invalid_write_run(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        count = len(data)
+        self.record_event_run(event, count)
+        bucket = self._unit_store(event, create=True)
+        offsets = range(event.offset, event.offset + count)
+        stored_new = 0
+        discarded = 0
+        if self._stored_total + count <= self.max_stored_bytes:
+            # Fast path: everything fits even if every offset is new.  One
+            # C-level dict update; the new-offset count falls out of the
+            # bucket growth.
+            before = len(bucket)
+            bucket.update(zip(offsets, data))
+            stored_new = len(bucket) - before
+            self._stored_total += stored_new
+        elif self._stored_total >= self.max_stored_bytes:
+            # Store already full: overwrites still land (they consume no
+            # capacity), every new offset is discarded.
+            if bucket:
+                hits = bucket.keys() & frozenset(offsets)
+                for offset in hits:
+                    bucket[offset] = data[offset - event.offset]
+                discarded = count - len(hits)
+            else:
+                discarded = count
+        else:
+            # Crossing capacity mid-run: byte-at-a-time accounting, exactly
+            # like the per-byte fallback loop (overwrites always land; new
+            # offsets land only while there is room).
+            for i, byte in enumerate(data):
+                offset = event.offset + i
+                if offset in bucket:
+                    bucket[offset] = byte
+                elif self._stored_total < self.max_stored_bytes:
+                    bucket[offset] = byte
+                    self._stored_total += 1
+                    stored_new += 1
+                else:
+                    discarded += 1
+        if stored_new:
+            self.stats.stored_out_of_bounds_bytes += stored_new
+            self.emit(Discard(length=stored_new, count=stored_new, site=event.site,
+                              request_id=event.request_id, stored=True))
+        if discarded:
+            self.stats.discarded_bytes += discarded
+            self.emit(Discard(length=discarded, count=discarded, site=event.site,
+                              request_id=event.request_id))
+        return AccessDecision.discard()
+
+    def on_invalid_read_run(self, event: MemoryErrorEvent, count: int) -> AccessDecision:
+        self.record_event_run(event, count)
+        data, manufactured = self._lookup_bytes(event, count)
+        if manufactured:
+            self.stats.manufactured_values += manufactured
+            self.emit(Manufacture(length=manufactured, count=manufactured,
+                                  site=event.site, request_id=event.request_id))
+        return AccessDecision.supply(data)
+
+    def scan_invalid_read_run(self, event, count, until):
+        bucket = self._unit_store(event) or {}
+        get = bucket.get
+        out = bytearray()
+        manufactured = 0
+        for offset in range(event.offset, event.offset + count):
+            byte = get(offset)
+            if byte is None:
+                byte = self.sequence.next_byte()
+                manufactured += 1
+            out.append(byte)
+            if byte in until:
+                break
+        produced = len(out)
+        if produced:
+            self.record_event_run(event, produced)
+            if manufactured:
+                self.stats.manufactured_values += manufactured
+                self.emit(Manufacture(length=manufactured, count=manufactured,
+                                      site=event.site, request_id=event.request_id))
+        return AccessDecision.supply(bytes(out))
+
+    # -- store bookkeeping ------------------------------------------------------
+
+    def release_unit(self, unit_name: str, unit_size: int) -> None:
+        """Drop every stored byte keyed to a (freed) unit, releasing capacity."""
+        bucket = self._store.pop((unit_name, unit_size), None)
+        if bucket:
+            self._stored_total -= len(bucket)
 
     def stored_bytes(self) -> int:
         """Return how many out-of-bounds bytes are currently remembered."""
-        return len(self._store)
+        return self._stored_total
 
 
 class RedirectPolicy(AccessPolicy):
@@ -195,6 +388,7 @@ class RedirectPolicy(AccessPolicy):
 
     name = "redirect"
     performs_checks = True
+    supports_runs = True
 
     def __init__(
         self,
@@ -230,6 +424,46 @@ class RedirectPolicy(AccessPolicy):
         target = event.offset % event.unit_size
         self.emit(Redirect(offset=event.offset, redirect_offset=target,
                            length=len(data), access=event.access.value,
+                           site=event.site, request_id=event.request_id))
+        return AccessDecision.redirect(target)
+
+    # -- batched runs -----------------------------------------------------------
+    #
+    # A contiguous run of per-byte accesses at offsets o, o+1, ... lands at
+    # (o + i) % size — i.e. exactly a wrapped contiguous range starting at
+    # o % size, which the accessor's redirected bulk read/write reproduces.
+    # One Redirect record carries the run (count per-byte accesses); the
+    # redirected_accesses statistic counts each of them, like the loop did.
+
+    def on_invalid_read_run(self, event: MemoryErrorEvent, count: int) -> AccessDecision:
+        if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
+            self.record_event_run(event, count)
+            data = self.sequence.next_bytes(count)
+            self.stats.manufactured_values += count
+            self.emit(Manufacture(length=count, count=count, site=event.site,
+                                  request_id=event.request_id))
+            return AccessDecision.supply(data)
+        self.record_event_run(event, count)
+        self.stats.redirected_accesses += count
+        target = event.offset % event.unit_size
+        self.emit(Redirect(offset=event.offset, redirect_offset=target,
+                           length=count, access=event.access.value, count=count,
+                           site=event.site, request_id=event.request_id))
+        return AccessDecision.redirect(target)
+
+    def on_invalid_write_run(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        count = len(data)
+        if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
+            self.record_event_run(event, count)
+            self.stats.discarded_bytes += count
+            self.emit(Discard(length=count, count=count, site=event.site,
+                              request_id=event.request_id))
+            return AccessDecision.discard()
+        self.record_event_run(event, count)
+        self.stats.redirected_accesses += count
+        target = event.offset % event.unit_size
+        self.emit(Redirect(offset=event.offset, redirect_offset=target,
+                           length=count, access=event.access.value, count=count,
                            site=event.site, request_id=event.request_id))
         return AccessDecision.redirect(target)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.errorlog import MemoryErrorLog
 from repro.errors import MemoryErrorEvent
@@ -135,6 +135,18 @@ class AccessPolicy(ABC):
     #: Whether the accessor should run bounds checks at all.  The Standard
     #: build sets this to False, which is also why it is the fastest build.
     performs_checks: bool = True
+    #: Whether the policy implements the batched run hooks
+    #: (:meth:`on_invalid_read_run` / :meth:`on_invalid_write_run`).  When
+    #: False the accessor falls back to one policy decision per byte — the
+    #: reference semantics every run hook must reproduce exactly.  All five
+    #: shipped checking policies support runs; third-party policies keep
+    #: working unmodified through the per-byte path.
+    supports_runs: bool = False
+    #: Whether :meth:`scan_invalid_read_run` can batch terminator scans.
+    #: False (redirect: its bytes live in memory, not in the policy) lets the
+    #: accessor skip the classify-and-ask round trip entirely and hand the
+    #: scan straight back to the per-byte path.
+    supports_scan_runs: bool = False
 
     def __init__(self, error_log: Optional[MemoryErrorLog] = None) -> None:
         self.error_log = error_log if error_log is not None else MemoryErrorLog()
@@ -152,6 +164,51 @@ class AccessPolicy(ABC):
     @abstractmethod
     def on_invalid_write(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
         """Decide what to do about an invalid write of ``data``."""
+
+    # -- batched run hooks -----------------------------------------------------
+    #
+    # A *run* is a contiguous sequence of per-byte invalid accesses — the
+    # out-of-bounds suffix of a span operation.  The run hooks receive the
+    # first per-byte event (length 1) plus the run size and must behave
+    # exactly like ``count`` calls of the scalar hook on events whose offsets
+    # step by one: same statistics, same error-log contents (recorded as one
+    # run via record_event_run), same manufactured-sequence consumption, and
+    # one decision covering the whole run.  They are only called when
+    # ``supports_runs`` is True.
+
+    def on_invalid_read_run(self, event: MemoryErrorEvent, count: int) -> AccessDecision:
+        """Decide a contiguous run of ``count`` per-byte invalid reads at once."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_runs but lacks on_invalid_read_run"
+        )
+
+    def on_invalid_write_run(self, event: MemoryErrorEvent, data: bytes) -> AccessDecision:
+        """Decide a contiguous run of ``len(data)`` per-byte invalid writes at once."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_runs but lacks on_invalid_write_run"
+        )
+
+    def scan_invalid_read_run(
+        self, event: MemoryErrorEvent, count: int, until: Tuple[int, ...]
+    ) -> Optional[AccessDecision]:
+        """Batched terminator scan: per-byte reads that stop at a sentinel.
+
+        The C-string loops read invalid bytes one at a time *until a
+        terminator appears* — so the run length is data-dependent and cannot
+        be fixed up front without over-consuming the manufactured-value
+        sequence.  Policies whose invalid-read bytes are internally generated
+        (failure-oblivious, boundless) override this to produce up to
+        ``count`` bytes, stopping after the first byte in ``until``, and
+        record exactly as many per-byte events as bytes produced; the hit is
+        the last returned byte iff it is in ``until``.
+
+        Returning None (the default) tells the accessor to fall back to one
+        policy decision per byte; policies that can never scan-batch leave
+        ``supports_scan_runs`` False instead (the redirect policy: its bytes
+        live in memory the policy cannot see), which skips even the
+        classification round trip.
+        """
+        return None
 
     # -- shared bookkeeping ----------------------------------------------------
 
@@ -175,6 +232,21 @@ class AccessPolicy(ABC):
             self.stats.invalid_reads += 1
         else:
             self.stats.invalid_writes += 1
+
+    def record_event_run(self, event: MemoryErrorEvent, count: int) -> None:
+        """Log a contiguous run of ``count`` per-byte invalid accesses.
+
+        Equivalent to ``count`` calls of :meth:`record_event` on events whose
+        offsets step by one byte — every error-log query and statistic answers
+        identically — but published as a single run record.
+        """
+        if count <= 0:
+            return
+        self.error_log.record_run(event, count, stride=1)
+        if event.access.value == "read":
+            self.stats.invalid_reads += count
+        else:
+            self.stats.invalid_writes += count
 
     def reset_statistics(self) -> None:
         """Zero the statistics counters (the error log is left untouched)."""

@@ -150,6 +150,11 @@ def run_stability_experiment(
             if restart_on_death:
                 server.restart()
                 restarts += 1
+                if not server.alive:
+                    # A restart that dies during boot is a server death, the
+                    # same as a failed boot-time restart above; previously
+                    # only the boot path counted it.
+                    server_deaths += 1
             if not server.alive:
                 if not request.is_attack:
                     unserved_while_down += 1

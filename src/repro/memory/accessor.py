@@ -259,10 +259,19 @@ class MemoryAccessor:
     # policy intervention: the in-bounds window of the referent for checking
     # policies, the rest of the containing segment for the unchecked Standard
     # build.  One policy check and one object-table lookup are paid per span
-    # instead of per byte; anything outside the span falls back to the
-    # per-byte accessors so the per-byte policy events (and therefore the
-    # error log, manufactured-value consumption, and boundless side stores)
-    # are bit-for-bit identical to a byte loop.
+    # instead of per byte.
+    #
+    # Outside the span, accesses are invalid and the policy decides.  For
+    # policies that support batched runs (all five shipped ones) the whole
+    # contiguous invalid run is classified once and handed to the policy as a
+    # single ``on_invalid_read_run``/``on_invalid_write_run`` call — the
+    # batched out-of-bounds continuation that removes the per-byte ceiling on
+    # attack floods.  The run hooks are bit-identical to the per-byte loop
+    # for everything a program or the error log can observe (the equivalence
+    # suite diffs them against the per-byte reference under every policy);
+    # only ``checks_performed`` counts one check per run instead of per byte.
+    # Policies without run support (third-party subclasses) still get one
+    # policy decision per byte via the scalar accessors.
 
     def scan_span(self, ptr: FatPointer) -> int:
         """Length of the contiguous raw-accessible span starting at ``ptr``.
@@ -282,48 +291,208 @@ class MemoryAccessor:
             policy.note_check()
             self.table.find(ptr.address)
 
+    @property
+    def batches_runs(self) -> bool:
+        """True when invalid suffixes can be handed to the policy as runs.
+
+        The single definition of run eligibility; the C-string helpers
+        consult it too when deciding whether an overflowing copy can stream
+        whole chunks through the batched continuation.
+        """
+        policy = self.policy
+        return policy.performs_checks and policy.supports_runs
+
+    def _invalid_run_length(self, ptr: FatPointer, length: int) -> int:
+        """Length of the contiguous invalid run starting at ``ptr``.
+
+        Every byte of the returned range classifies identically (same kind,
+        same unit): a pointer below its unit re-enters bounds at offset 0, so
+        the run stops there; above the unit, or into a dead or null unit, the
+        whole remaining range is one run.
+        """
+        unit = ptr.referent
+        if not ptr.is_null and unit.alive and ptr.offset < 0:
+            return min(-ptr.offset, length)
+        return length
+
+    def _invalid_read_run(self, ptr: FatPointer, count: int) -> bytes:
+        """One policy decision for a contiguous run of per-byte invalid reads."""
+        policy = self.policy
+        policy.note_check()
+        self.table.find(ptr.address)
+        event = self._classify(ptr, 1, AccessKind.READ)
+        decision = policy.on_invalid_read_run(event, count)
+        if decision.action is DecisionAction.RAISE:
+            raise decision.exception
+        if decision.action is DecisionAction.SUPPLY:
+            return decision.data
+        if decision.action is DecisionAction.REDIRECT:
+            # Per-byte accesses at offsets o, o+1, ... land at (o + i) % size:
+            # exactly the wrapped contiguous read starting at the redirect
+            # target.
+            redirected = FatPointer(ptr.referent, decision.redirect_offset)
+            return self._read_redirected(redirected, count)
+        # PERFORM_RAW falls through to the raw access.
+        return self.space.read(ptr.address, count)
+
+    def _invalid_write_run(self, ptr: FatPointer, data: bytes) -> None:
+        """One policy decision for a contiguous run of per-byte invalid writes."""
+        policy = self.policy
+        policy.note_check()
+        self.table.find(ptr.address)
+        event = self._classify(ptr, 1, AccessKind.WRITE)
+        decision = policy.on_invalid_write_run(event, data)
+        if decision.action is DecisionAction.RAISE:
+            raise decision.exception
+        if decision.action is DecisionAction.DISCARD:
+            return
+        if decision.action is DecisionAction.REDIRECT:
+            self._write_redirected(ptr.referent, decision.redirect_offset, data)
+            return
+        # PERFORM_RAW: the unchecked behaviour, performed deliberately.
+        self.space.write(ptr.address, data)
+
     def read_span(self, ptr: FatPointer, length: int) -> bytes:
-        """Bulk read: one check for the safe span, per-byte fallback beyond it."""
+        """Bulk read: one policy decision per safe span *and* per invalid run.
+
+        Alternates between raw reads of in-bounds spans and batched policy
+        continuations for the invalid runs between them; policies without run
+        support fall back to one decision per byte.
+        """
         if length <= 0:
             return b""
+        # Fast path for the dominant case: the whole request inside one safe
+        # span — no accumulator, no extra copy.
         span = min(self.scan_span(ptr), length)
-        if span <= 0:
-            return bytes(self.read_byte(ptr + i) for i in range(length))
-        self._note_span_check(ptr)
-        data = self.space.read(ptr.address, span)
         if span == length:
-            return data
-        return data + bytes(self.read_byte(ptr + i) for i in range(span, length))
+            self._note_span_check(ptr)
+            return self.space.read(ptr.address, length)
+        if not self.batches_runs:
+            if span <= 0:
+                return bytes(self.read_byte(ptr + i) for i in range(length))
+            self._note_span_check(ptr)
+            data = self.space.read(ptr.address, span)
+            return data + bytes(self.read_byte(ptr + i) for i in range(span, length))
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            here = ptr + pos
+            span = min(self.scan_span(here), length - pos)
+            if span > 0:
+                self._note_span_check(here)
+                out += self.space.read(here.address, span)
+                pos += span
+                continue
+            run = self._invalid_run_length(here, length - pos)
+            out += self._invalid_read_run(here, run)
+            pos += run
+        return bytes(out)
 
     def write_span(self, ptr: FatPointer, data: bytes) -> None:
-        """Bulk write: one check for the safe span, per-byte fallback beyond it."""
+        """Bulk write: one policy decision per safe span *and* per invalid run.
+
+        The write-side counterpart of :meth:`read_span`; this is the path
+        that absorbs an attack flood's out-of-bounds suffix in one policy
+        call per span instead of one per byte.
+        """
         if not data:
             return
-        span = min(self.scan_span(ptr), len(data))
-        if span > 0:
+        length = len(data)
+        # Fast path: the whole write inside one safe span — no slicing.
+        span = min(self.scan_span(ptr), length)
+        if span == length:
             self._note_span_check(ptr)
-            self.space.write(ptr.address, data[:span])
-        for i in range(span, len(data)):
-            self.write_byte(ptr + i, data[i])
+            self.space.write(ptr.address, data)
+            return
+        if not self.batches_runs:
+            if span > 0:
+                self._note_span_check(ptr)
+                self.space.write(ptr.address, data[:span])
+            for i in range(span, length):
+                self.write_byte(ptr + i, data[i])
+            return
+        pos = 0
+        while pos < length:
+            here = ptr + pos
+            span = min(self.scan_span(here), length - pos)
+            if span > 0:
+                self._note_span_check(here)
+                self.space.write(here.address, data[pos:pos + span])
+                pos += span
+                continue
+            run = self._invalid_run_length(here, length - pos)
+            self._invalid_write_run(here, data[pos:pos + run])
+            pos += run
 
     def read_span_until(self, ptr: FatPointer, value: int, limit: int) -> "tuple[bytes, int]":
-        """Read the safe span up to and including the first ``value``; one check.
+        """Read up to and including the first ``value``; one check per span/run.
 
         Returns ``(data, index)`` where ``index`` is the offset of ``value``
-        relative to ``ptr`` (or -1 if it does not occur in the span) and
-        ``data`` holds the bytes up to and including the hit — the whole span
-        on a miss.  This is the ``strcpy``/``read_c_string`` shape: locating
-        the terminator and fetching the bytes is a single span-sized read, so
-        it pays a single policy check and table lookup.
+        relative to ``ptr`` (or -1 on a miss) and ``data`` holds the bytes up
+        to and including the hit.  This is the ``strcpy``/``read_c_string``
+        shape: locating the terminator and fetching the bytes is a single
+        span-sized read per safe span.
+
+        Beyond the safe span the scan continues through invalid runs via the
+        policy's ``scan_invalid_read_run`` hook (failure-oblivious and
+        boundless generate their own bytes and stop exactly where a per-byte
+        loop would).  When the policy cannot scan-batch — redirect, whose
+        bytes live in memory, and per-byte-only policies — the method returns
+        what it has with ``index == -1`` and the caller continues per byte;
+        ``data`` may then be shorter than ``limit``.
         """
+        target = value & 0xFF
+        # Fast path for the dominant case: the hit (or the whole limit)
+        # inside the first safe span — one raw read, no accumulator.
         span = min(self.scan_span(ptr), limit)
-        if span <= 0:
-            return b"", -1
-        self._note_span_check(ptr)
-        # The follow-up read charges the raw-access counter for these bytes.
-        index = self.space.find_byte(ptr.address, value, span, charge_reads=False)
-        length = index + 1 if index >= 0 else span
-        return self.space.read(ptr.address, length), index
+        if span > 0:
+            self._note_span_check(ptr)
+            # The follow-up read charges the raw-access counter for these bytes.
+            index = self.space.find_byte(ptr.address, target, span, charge_reads=False)
+            if index >= 0:
+                return self.space.read(ptr.address, index + 1), index
+            first = self.space.read(ptr.address, span)
+            if span == limit:
+                return first, -1
+        else:
+            first = b""
+        if not self.batches_runs:
+            return first, -1
+        policy = self.policy
+        scan_runs = policy.supports_scan_runs
+        out = bytearray(first)
+        pos = span
+        while pos < limit:
+            here = ptr + pos
+            span = min(self.scan_span(here), limit - pos)
+            if span > 0:
+                self._note_span_check(here)
+                index = self.space.find_byte(here.address, target, span, charge_reads=False)
+                length = index + 1 if index >= 0 else span
+                out += self.space.read(here.address, length)
+                if index >= 0:
+                    return bytes(out), pos + index
+                pos += span
+                continue
+            if not scan_runs:
+                break  # the caller continues with the per-byte path
+            run = self._invalid_run_length(here, limit - pos)
+            policy.note_check()
+            self.table.find(here.address)
+            event = self._classify(here, 1, AccessKind.READ)
+            decision = policy.scan_invalid_read_run(event, run, (target,))
+            if decision is None:
+                break
+            if decision.action is DecisionAction.RAISE:
+                raise decision.exception
+            data = decision.data
+            if not data:
+                break
+            out += data
+            if data[-1] == target:
+                return bytes(out), pos + len(data) - 1
+            pos += len(data)
+        return bytes(out), -1
 
     def find_byte(self, ptr: FatPointer, value: int, limit: int) -> int:
         """Search the safe span for ``value``; one check per call.

@@ -54,6 +54,14 @@ class MemoryContext:
         self.heap = HeapAllocator(self.space, self.table, bus=self.bus)
         self.stack = CallStack(self.space, self.table)
         self.mem = MemoryAccessor(self.space, self.table, self.policy)
+        # Policies holding per-unit side state (the boundless store) reclaim
+        # it at unit death.  The object table is the single definition of
+        # death — heap frees and stack frame pops both unregister there — so
+        # this covers shapes the allocator's AllocFree event cannot (a soak
+        # overflowing a different stack local every request).
+        release = getattr(self.policy, "release_unit", None)
+        if release is not None:
+            self.table.add_death_hook(lambda unit: release(unit.label(), unit.size))
 
     # -- heap conveniences ---------------------------------------------------------
 

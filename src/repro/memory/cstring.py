@@ -12,13 +12,23 @@ Fast path
 Scanning and copying operate on whole *safe spans* (the contiguous raw
 window reported by :meth:`MemoryAccessor.scan_span`) using the accessor's
 bulk primitives, paying one policy check per span instead of one per byte.
-At a span boundary — the end of the data unit for checking builds, the end
-of the segment for the Standard build — every function falls back to the
-original byte-at-a-time loop, so out-of-bounds behaviour (error-log events,
-manufactured values, boundless stores, redirect wraparound, segmentation
-faults) is byte-for-byte identical to the per-byte implementation.  Only the
-policy's ``checks_performed`` counter observes the difference: one check per
-span rather than per byte.
+
+Past the span boundary — where accesses become invalid — the continuation is
+*also* batched for policies that support runs: a copy whose destination has
+left its unit hands the whole out-of-bounds suffix to the policy as a single
+run (the attack-flood shape: one ``on_invalid_write_run`` per source span
+instead of one decision per byte), and terminator scans continue through
+invalid runs via the policy's scan hook when the policy generates its own
+bytes (failure-oblivious, boundless).  Both are observably identical to the
+byte-at-a-time loops they replace — error-log queries, manufactured-value
+consumption, boundless stores, memory images — as proven by the equivalence
+suite; only the policy's ``checks_performed`` counter sees one check per
+span/run rather than per byte.
+
+The byte loop survives where per-byte semantics are genuinely load-bearing:
+policies without run hooks, overlapping copies within one unit (redirected
+writes could alias the bytes still being read), and content-terminated scans
+whose bytes the policy cannot generate (redirect reads from live memory).
 
 Overlapping copies are chunked to the pointer distance so the forward
 byte-copy propagation of the C originals is preserved exactly.
@@ -83,10 +93,39 @@ def strlen(mem: MemoryAccessor, s: FatPointer, limit: int = SCAN_LIMIT) -> int:
             continue
         if length > limit:
             raise InfiniteLoopGuard(f"strlen scanned {limit} bytes without finding NUL")
+        # Past the span: continue the scan through the invalid run in one
+        # policy call when the policy generates its own bytes (the read side
+        # of the batched continuation); redirect and per-byte-only policies
+        # return no progress and take the byte loop below.
+        data, index = mem.read_span_until(ptr, 0, limit - length + 1)
+        if index >= 0:
+            return length + index
+        if data:
+            length += len(data)
+            ptr = ptr + len(data)
+            if length > limit:
+                raise InfiniteLoopGuard(f"strlen scanned {limit} bytes without finding NUL")
+            continue
         if mem.read_byte(ptr) == 0:
             return length
         ptr = ptr + 1
         length += 1
+
+
+def _oob_copy_span(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> int:
+    """Source-span size for a batched out-of-bounds copy chunk, or 0.
+
+    Nonzero when the destination has left its safe span (the attack-flood
+    shape) but the source still reads from one, and the whole chunk can be
+    handed to the policy as one invalid-write run.  Requires run support and
+    distinct units: writes redirected back into a shared unit would alias
+    bytes the byte loop had not yet read.
+    """
+    if not mem.batches_runs:
+        return 0
+    if dst.same_unit(src) or mem.scan_span(dst) != 0:
+        return 0
+    return min(mem.scan_span(src), n)
 
 
 def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
@@ -97,6 +136,12 @@ def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
         if copied > SCAN_LIMIT:
             raise InfiniteLoopGuard("strcpy copied too many bytes")
         chunk = _copy_span(mem, d, s, SCAN_LIMIT - copied + 1)
+        if chunk <= 1:
+            # Destination out of bounds, source still spanning: one policy
+            # decision for the whole chunk (write_span batches the invalid
+            # run).  In-bounds source reads emit no events, so the event
+            # stream is exactly the byte loop's write-event stream.
+            chunk = _oob_copy_span(mem, d, s, SCAN_LIMIT - copied + 1)
         if chunk > 1:
             # One span-sized read (locating the NUL included) and one
             # span-sized write: one policy check per pointer per chunk.
@@ -123,6 +168,10 @@ def strncpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> Fa
     hit_nul = False
     while i < n and not hit_nul:
         chunk = _copy_span(mem, dst + i, s, n - i)
+        if chunk <= 1:
+            # Batched continuation for the overflowed-destination phase, as
+            # in strcpy.
+            chunk = _oob_copy_span(mem, dst + i, s, n - i)
         if chunk > 1:
             data, index = mem.read_span_until(s, 0, chunk)
             mem.write_span(dst + i, data)
@@ -136,16 +185,22 @@ def strncpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> Fa
             hit_nul = True
         s = s + 1
         i += 1
-    # NUL-padding tail: one memset-style span write per safe window, falling
-    # back to byte writes only where the destination leaves its window.
-    while i < n:
-        span = min(mem.scan_span(dst + i), n - i)
-        if span > 0:
-            mem.write_span(dst + i, b"\x00" * span)
-            i += span
+    # NUL-padding tail.  write_span already alternates memset-style span
+    # writes with batched invalid runs for run-capable policies, so one call
+    # covers the whole tail — an overflowing pad is one policy decision per
+    # run, not per byte.  Per-byte-only policies keep the original loop.
+    if i < n:
+        if mem.batches_runs:
+            mem.write_span(dst + i, b"\x00" * (n - i))
         else:
-            mem.write_byte(dst + i, 0)
-            i += 1
+            while i < n:
+                span = min(mem.scan_span(dst + i), n - i)
+                if span > 0:
+                    mem.write_span(dst + i, b"\x00" * span)
+                    i += span
+                else:
+                    mem.write_byte(dst + i, 0)
+                    i += 1
     return dst
 
 
@@ -247,15 +302,18 @@ def read_c_string(mem: MemoryAccessor, src: FatPointer, limit: int = SCAN_LIMIT)
     ptr = src
     scanned = 0
     while scanned < limit:
-        span = min(mem.scan_span(ptr), limit - scanned)
-        if span > 1:
-            data, nul = mem.read_span_until(ptr, 0, span)
-            if nul >= 0:
-                out += data[:nul]
-                return bytes(out)
+        # read_span_until covers whole safe spans and — for policies that can
+        # scan-batch — whole invalid runs; it returns no progress where only
+        # the per-byte path below can continue (redirect wraparound,
+        # per-byte-only policies, one-byte spans).
+        data, nul = mem.read_span_until(ptr, 0, limit - scanned)
+        if nul >= 0:
+            out += data[:nul]
+            return bytes(out)
+        if data:
             out += data
-            ptr = ptr + span
-            scanned += span
+            ptr = ptr + len(data)
+            scanned += len(data)
             continue
         byte = mem.read_byte(ptr)
         if byte == 0:

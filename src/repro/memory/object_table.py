@@ -9,7 +9,7 @@ map with O(log n) lookup.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.memory.data_unit import DataUnit
 
@@ -28,7 +28,15 @@ class ObjectTable:
         #: Units that have been unregistered but are remembered so that
         #: use-after-free accesses can be attributed to the original unit.
         self._retired: List[DataUnit] = []
+        #: Callbacks invoked whenever a unit dies (heap free *or* stack frame
+        #: pop — unregister is the single definition of unit death).  Used by
+        #: policies holding per-unit side state, e.g. the boundless store.
+        self._death_hooks: List[Callable[[DataUnit], None]] = []
         self.lookups = 0
+
+    def add_death_hook(self, hook: Callable[[DataUnit], None]) -> None:
+        """Call ``hook(unit)`` every time a unit is unregistered."""
+        self._death_hooks.append(hook)
 
     def __len__(self) -> int:
         return len(self._units)
@@ -62,6 +70,8 @@ class ObjectTable:
                 self._retired.append(unit)
                 if len(self._retired) > 1024:
                     self._retired.pop(0)
+                for hook in self._death_hooks:
+                    hook(unit)
                 return
             index += 1
         raise KeyError(f"unit {unit.label()} is not registered")

@@ -22,6 +22,7 @@ from repro.telemetry.events import (
     ScenarioEnd,
     ScenarioStart,
     event_name,
+    expand_invalid_accesses,
     from_record,
     to_record,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "ScenarioEnd",
     "ScenarioStart",
     "event_name",
+    "expand_invalid_accesses",
     "from_record",
     "to_record",
     "TelemetrySession",

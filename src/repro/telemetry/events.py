@@ -11,6 +11,26 @@ ad-hoc bookkeeping in each harness layer:
 * :class:`Discard` / :class:`Manufacture` / :class:`Redirect` — the
   continuation the policy executed for the access (failure-oblivious writes,
   manufactured reads, §5.1 redirects).
+
+Run-carrying events
+-------------------
+The batched out-of-bounds continuation (PR 4) classifies a whole contiguous
+invalid run once instead of once per byte.  So that the event stream loses no
+information, the access-level events carry the run explicitly:
+
+* :class:`InvalidAccess` has ``count``/``stride``: the record stands for
+  ``count`` per-byte error events whose offsets are ``error.offset + stride*i``
+  (``count == 1`` is the ordinary single event).  :meth:`InvalidAccess.expand`
+  reproduces the exact per-byte event sequence.
+* :class:`Discard` / :class:`Manufacture` / :class:`Redirect` have ``count``:
+  how many per-byte continuation decisions the record batches.  A block access
+  (one decision covering ``length`` bytes, the pre-PR-4 behaviour) has
+  ``count == 1``; a batched per-byte run has ``count == length``.
+
+Aggregate consumers (:class:`~repro.telemetry.sinks.CounterSink`, trace
+summaries) weight by these fields, which is what keeps every error-log and
+trace-summary query bit-identical whether a flood was recorded per byte or
+as runs.
 * :class:`AllocFree` — heap allocator activity, for leak/heap forensics.
 * :class:`RequestStart` / :class:`RequestEnd` — the server request lifecycle;
   the ``request_id`` is the trace id correlating everything in between.
@@ -26,17 +46,38 @@ same aggregate counts the live run produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict, Optional, Tuple, Type
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent
 
 
 @dataclass(frozen=True)
 class InvalidAccess:
-    """One attempted invalid memory access (the §3 error-log entry)."""
+    """One attempted invalid memory access (the §3 error-log entry).
+
+    ``count > 1`` makes this a *run* record standing for ``count`` per-byte
+    events at offsets ``error.offset + stride * i`` (all other fields equal);
+    :meth:`expand` materializes that sequence.
+    """
 
     error: MemoryErrorEvent
+    count: int = 1
+    stride: int = 1
+
+    def expand(self) -> Iterator[MemoryErrorEvent]:
+        """Yield the per-byte error events this record stands for."""
+        yield self.error
+        for i in range(1, self.count):
+            yield replace(self.error, offset=self.error.offset + self.stride * i)
+
+
+def expand_invalid_accesses(events: Iterable["InvalidAccess"]) -> List[MemoryErrorEvent]:
+    """Flatten a stream of (possibly run-carrying) records to per-byte events."""
+    out: List[MemoryErrorEvent] = []
+    for event in events:
+        out.extend(event.expand())
+    return out
 
 
 @dataclass(frozen=True)
@@ -49,6 +90,9 @@ class Discard:
     #: True when a boundless policy kept the bytes in its side store instead
     #: of dropping them outright.
     stored: bool = False
+    #: Number of per-byte discard decisions batched into this record (1 for a
+    #: block access, ``length`` for a batched per-byte run).
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -58,6 +102,8 @@ class Manufacture:
     length: int
     site: str = ""
     request_id: Optional[int] = None
+    #: Number of per-byte manufacture decisions batched into this record.
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -70,6 +116,8 @@ class Redirect:
     access: str = AccessKind.READ.value
     site: str = ""
     request_id: Optional[int] = None
+    #: Number of per-byte redirected accesses batched into this record.
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -172,6 +220,8 @@ def to_record(event: object) -> Dict[str, object]:
             "length": error.length,
             "site": error.site,
             "request_id": error.request_id,
+            "count": event.count,
+            "stride": event.stride,
         }
     record: Dict[str, object] = {"event": event_name(event)}
     for field in fields(event):
@@ -204,7 +254,9 @@ def from_record(record: Dict[str, object]) -> object:
                 length=record["length"],
                 site=record.get("site", ""),
                 request_id=record.get("request_id"),
-            )
+            ),
+            count=record.get("count", 1),
+            stride=record.get("stride", 1),
         )
     kwargs = {}
     for field in fields(cls):

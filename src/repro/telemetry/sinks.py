@@ -60,9 +60,18 @@ class CounterSink(Sink):
     The invalid-access counters replicate what the §3 error log aggregates
     (totals, by site, by kind, by access direction); the continuation and
     request counters extend the same treatment to the rest of the stream.
+
+    Run-carrying records weigh in at their ``count`` (see
+    :mod:`repro.telemetry.events`): a batched flood of 4096 per-byte invalid
+    writes adds 4096 to ``invalid_total`` and to ``by_type`` whether it
+    arrived as one run record or 4096 singles — every aggregate here is
+    stream-shape independent.
     """
 
     def __init__(self) -> None:
+        self._reset_fields()
+
+    def _reset_fields(self) -> None:
         self.by_type: Counter = Counter()
         self.invalid_total = 0
         self.invalid_by_site: Counter = Counter()
@@ -77,13 +86,14 @@ class CounterSink(Sink):
         self.requests_by_outcome: Counter = Counter()
 
     def emit(self, event: object) -> None:
-        self.by_type[type(event).__name__] += 1
+        count = getattr(event, "count", 1)
+        self.by_type[type(event).__name__] += count
         if isinstance(event, InvalidAccess):
             error = event.error
-            self.invalid_total += 1
-            self.invalid_by_site[error.site] += 1
-            self.invalid_by_kind[error.kind] += 1
-            self.invalid_by_access[error.access] += 1
+            self.invalid_total += count
+            self.invalid_by_site[error.site] += count
+            self.invalid_by_kind[error.kind] += count
+            self.invalid_by_access[error.access] += count
         elif isinstance(event, Manufacture):
             self.manufactured_bytes += event.length
         elif isinstance(event, Discard):
@@ -92,7 +102,7 @@ class CounterSink(Sink):
             else:
                 self.discarded_bytes += event.length
         elif isinstance(event, Redirect):
-            self.redirected_accesses += 1
+            self.redirected_accesses += count
         elif isinstance(event, AllocFree):
             if event.op == "free":
                 self.frees += 1
@@ -102,8 +112,14 @@ class CounterSink(Sink):
             self.requests_by_outcome[event.outcome] += 1
 
     def clear(self) -> None:
-        """Zero every counter."""
-        self.__init__()
+        """Zero every counter.
+
+        An explicit field reset, NOT ``self.__init__()``: subclasses with
+        richer ``__init__`` signatures (or state established outside it)
+        would otherwise be silently corrupted by
+        :meth:`~repro.core.errorlog.MemoryErrorLog.clear`.
+        """
+        self._reset_fields()
 
     def __eq__(self, other: object) -> bool:
         """Value equality: two counter sinks with identical tallies are equal.
@@ -144,7 +160,10 @@ class CoalescingRingSink(Sink):
 
     def emit(self, event: object) -> None:
         if isinstance(event, InvalidAccess):
-            self.append(event.error)
+            if event.count > 1:
+                self.append_run(event.error, event.stride, event.count)
+            else:
+                self.append(event.error)
 
     # -- recording ---------------------------------------------------------------
 
@@ -154,13 +173,49 @@ class CoalescingRingSink(Sink):
             self._runs[-1][3] += 1
         else:
             self._runs.append([error, 0, 0, 1])
-        self._retained += 1
-        while self._retained > self.capacity:
-            self._evict_oldest()
+        self._note_appended(1)
 
-    def _extends_last(self, error: MemoryErrorEvent) -> bool:
-        first, stride, start, count = self._runs[-1]
-        if (
+    def append_run(self, error: MemoryErrorEvent, stride: int, count: int) -> None:
+        """Record a whole run at once: ``count`` events stepping by ``stride``.
+
+        This is the batched-continuation ingest path: the run is stored
+        directly (no per-event work), and :meth:`events` remains identical to
+        appending the expanded events one at a time.  A run continuing the
+        newest stored run (same fields, same effective stride, contiguous
+        offsets — consecutive chunks of one flood) extends it in place.
+        """
+        if count <= 0:
+            return
+        if count == 1:
+            self.append(error)
+            return
+        if self._runs and self._fields_match(error):
+            last = self._runs[-1]
+            _first, last_stride, start, last_count = last[0], last[1], last[2], last[3]
+            next_offset = last[0].offset + last_stride * (start + last_count)
+            if last_count == 1 and start == 0:
+                # A single stored event has no stride yet; adopt the run's if
+                # the incoming offsets continue from it.
+                if error.offset == last[0].offset + stride:
+                    last[1] = stride
+                    last[3] += count
+                    self._note_appended(count)
+                    return
+            elif stride == last_stride and error.offset == next_offset:
+                last[3] += count
+                self._note_appended(count)
+                return
+        self._runs.append([error, stride, 0, count])
+        self._note_appended(count)
+
+    def _note_appended(self, count: int) -> None:
+        self._retained += count
+        if self._retained > self.capacity:
+            self._evict(self._retained - self.capacity)
+
+    def _fields_match(self, error: MemoryErrorEvent) -> bool:
+        first = self._runs[-1][0]
+        return not (
             error.kind is not first.kind
             or error.access is not first.access
             or error.unit_name != first.unit_name
@@ -168,7 +223,11 @@ class CoalescingRingSink(Sink):
             or error.length != first.length
             or error.site != first.site
             or error.request_id != first.request_id
-        ):
+        )
+
+    def _extends_last(self, error: MemoryErrorEvent) -> bool:
+        first, stride, start, count = self._runs[-1]
+        if not self._fields_match(error):
             return False
         if count == 1 and start == 0:
             # Second event fixes the run's stride (commonly 1 for per-byte
@@ -177,14 +236,22 @@ class CoalescingRingSink(Sink):
             return True
         return error.offset == first.offset + stride * (start + count)
 
-    def _evict_oldest(self) -> None:
-        run = self._runs[0]
-        run[2] += 1
-        run[3] -= 1
-        if run[3] == 0:
-            self._runs.popleft()
-        self._retained -= 1
-        self._dropped += 1
+    def _evict(self, n: int) -> None:
+        """Evict the ``n`` oldest events, shrinking whole runs at a time.
+
+        O(runs touched), not O(events evicted): a flood run bigger than the
+        ring is absorbed by advancing the front run's start once.
+        """
+        while n > 0:
+            run = self._runs[0]
+            take = run[3] if run[3] < n else n
+            run[2] += take
+            run[3] -= take
+            if run[3] == 0:
+                self._runs.popleft()
+            self._retained -= take
+            self._dropped += take
+            n -= take
 
     def clear(self) -> None:
         """Discard all retained events and reset the eviction counter."""

@@ -89,7 +89,10 @@ class TraceSummary:
 
     def __init__(self) -> None:
         self.total_events = 0
-        #: Record counts keyed by the on-disk ``event`` tag.
+        #: Logical event counts keyed by the on-disk ``event`` tag.  Run
+        #: records (``count > 1``) weigh in at their count, so a flood
+        #: summarizes identically whether it was exported per byte or as
+        #: batched runs; ``total_events`` stays the raw record count.
         self.by_type: Counter = Counter()
         self.attack_requests = 0
         self.servers: Counter = Counter()
@@ -99,12 +102,18 @@ class TraceSummary:
     def add(self, record: Dict[str, object]) -> None:
         """Fold one record into the summary."""
         self.total_events += 1
-        self.by_type[record.get("event")] += 1
+        count = record.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            count = 1
+        self.by_type[record.get("event")] += count
         scope = record.get("scope") or {}
+        # The per-server/per-policy tallies weigh runs like by_type does, so
+        # they too are independent of whether a flood was exported per byte
+        # or as run records.
         if "server" in scope:
-            self.servers[scope["server"]] += 1
+            self.servers[scope["server"]] += count
         if "policy" in scope:
-            self.policies[scope["policy"]] += 1
+            self.policies[scope["policy"]] += count
         try:
             event = from_record(record)
         except (ValueError, KeyError, TypeError):

@@ -1,11 +1,15 @@
-"""Equivalence of the span-based cstring fast paths with per-byte references.
+"""Equivalence of the span-based fast paths with per-byte references.
 
-The fast paths in :mod:`repro.memory.cstring` must be observably identical to
-the byte-at-a-time loops they replaced, under every policy, for everything a
-program (or the paper's evaluation) can see: returned values, the final memory
-image, the error-log event stream, and the policy's continuation statistics.
-The single intentional exception is ``checks_performed``, which now counts one
-check per span rather than per byte (see README "Performance").
+The fast paths in :mod:`repro.memory.cstring` and the accessor's span helpers
+— including the batched out-of-bounds continuation, which hands a whole
+invalid run to the policy in one call — must be observably identical to the
+byte-at-a-time loops they replaced, under every policy, for everything a
+program (or the paper's evaluation) can see: returned values, the final
+memory image, the error-log event stream and every aggregate query over it,
+the policy's continuation statistics, and the manufactured-value sequence's
+consumption.  The single intentional exception is ``checks_performed``, which
+counts one check per span/run rather than per byte (see README
+"Performance").
 
 Each property builds two identically laid-out contexts, runs the reference
 byte loop on one and the shipped fast path on the other, and compares.
@@ -20,6 +24,7 @@ from repro.errors import MemoryFault
 from repro.memory import cstring
 from repro.memory.context import MemoryContext
 from repro.memory.pointer import FatPointer
+from repro.telemetry.sinks import CounterSink
 from tests.conftest import POLICY_CLASSES
 from tests.reference_cstring import (
     ref_read_c_string,
@@ -36,23 +41,63 @@ POLICY_NAMES = sorted(POLICY_CLASSES)
 # -- comparison plumbing -------------------------------------------------------
 
 
+def _normalize_event(event):
+    """Comparable identity of one error-log event across twin contexts.
+
+    The unit *serial* differs between contexts (it is a global counter), so
+    the unit is identified by its base name + size instead.
+    """
+    return (
+        event.kind, event.access, event.offset, event.length, event.site,
+        event.unit_name.split("#")[0], event.unit_size,
+    )
+
+
 def _observe(ctx, outcome):
     """Everything a program can observe after one cstring call.
 
     ``checks_performed`` is deliberately excluded: the fast path pays one
-    check per span instead of per byte, which is the documented invariant
-    change of this PR.
+    check per span (and, since the batched continuation, one per invalid
+    run) instead of per byte, which is the documented invariant change.
     """
     stats = ctx.policy.stats.as_dict()
     stats.pop("checks_performed")
+    log = ctx.error_log
+    sequence = getattr(ctx.policy, "sequence", None)
+    counters = ctx.observed_counters
     return {
         "outcome": outcome,
         "heap": bytes(ctx.space.heap.data),
-        "events": [
-            (event.kind, event.access, event.offset, event.length)
-            for event in ctx.error_log.events()
-        ],
+        "events": [_normalize_event(event) for event in log.events()],
         "stats": stats,
+        # The full §3 error-log query surface: aggregate answers must not
+        # depend on whether the stream was recorded per byte or as runs.
+        "log_total": log.total_recorded,
+        "log_dropped": log.dropped,
+        "log_by_site": log.count_by_site(),
+        "log_by_kind": log.count_by_kind(),
+        "log_reads": log.count_reads(),
+        "log_writes": log.count_writes(),
+        "log_top_sites": log.most_common_sites(3),
+        "log_tail": [_normalize_event(event) for event in log.tail(4)],
+        "log_summary": log.summary(),
+        # Stream-level aggregates (what a trace summary reports): the
+        # CounterSink weighs run records by their count, so these equal the
+        # per-byte stream's aggregates field for field.
+        "counters": {
+            "by_type": counters.by_type,
+            "invalid_total": counters.invalid_total,
+            "invalid_by_site": counters.invalid_by_site,
+            "invalid_by_kind": counters.invalid_by_kind,
+            "invalid_by_access": counters.invalid_by_access,
+            "manufactured_bytes": counters.manufactured_bytes,
+            "discarded_bytes": counters.discarded_bytes,
+            "stored_bytes": counters.stored_bytes,
+            "redirected_accesses": counters.redirected_accesses,
+        },
+        # Manufactured-value consumption: identical counts plus identical
+        # returned bytes pin down identical consumption order.
+        "sequence_produced": sequence.produced if sequence is not None else None,
     }
 
 
@@ -84,7 +129,9 @@ def _run_twin(policy_name, setup, reference_op, fast_op):
             ctx = MemoryContext(POLICY_CLASSES[policy_name](),
                                 heap_size=32 * 1024, stack_size=8 * 1024,
                                 globals_size=4 * 1024)
+            ctx.observed_counters = ctx.bus.attach(CounterSink())
             pointers = setup(ctx)
+            ctx.observed_counters.clear()  # setup allocations are not under test
             try:
                 outcome = ("ok", _normalize(operation(ctx.mem, *pointers), pointers[0]))
             except MemoryFault as fault:
@@ -229,3 +276,196 @@ class TestRedirectWraparound:
                     ctx.mem.write_byte(buf + 9 + i, byte)
             images.append(ctx.mem.read(buf, 8))
         assert images[0] == images[1]
+
+
+# -- accessor-level span helpers ------------------------------------------------
+
+
+def ref_read_span(mem, ptr, n):
+    """Per-byte reference for MemoryAccessor.read_span."""
+    return bytes(mem.read_byte(ptr + i) for i in range(n))
+
+
+def ref_write_span(mem, ptr, data):
+    """Per-byte reference for MemoryAccessor.write_span."""
+    for i in range(len(data)):
+        mem.write_byte(ptr + i, data[i])
+
+
+class TestSpanHelperEquivalence:
+    """read_span/write_span with out-of-bounds suffixes, prefixes, and UAF.
+
+    These drive the batched continuation directly: the invalid portion of
+    the range reaches the policy as one run, and every observation must
+    match the per-byte loops above — including pointers that start below
+    their unit (the run re-enters bounds) and dead units.
+    """
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, unit_size=sizes,
+           start=st.integers(min_value=-24, max_value=80),
+           length=st.integers(min_value=1, max_value=96))
+    def test_read_span_with_oob_runs(self, policy, unit_size, start, length):
+        def setup(ctx):
+            base = ctx.malloc(unit_size, name="window")
+            ctx.mem.write(base, bytes((i * 7 + 1) % 256 for i in range(unit_size)))
+            return (base + start,)
+
+        _run_twin(policy, setup,
+                  lambda mem, p: ref_read_span(mem, p, length),
+                  lambda mem, p: mem.read_span(p, length))
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, unit_size=sizes,
+           start=st.integers(min_value=-24, max_value=80),
+           payload=st.binary(min_size=1, max_size=96))
+    def test_write_span_with_oob_runs(self, policy, unit_size, start, payload):
+        def setup(ctx):
+            base = ctx.malloc(unit_size, name="window")
+            return (base + start,)
+
+        _run_twin(policy, setup,
+                  lambda mem, p: ref_write_span(mem, p, payload),
+                  lambda mem, p: mem.write_span(p, payload))
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, unit_size=sizes,
+           length=st.integers(min_value=1, max_value=64),
+           use_read=st.booleans())
+    def test_use_after_free_runs(self, policy, unit_size, length, use_read):
+        """The whole range over a dead unit is one use-after-free run."""
+
+        def setup(ctx):
+            base = ctx.malloc(unit_size, name="freed")
+            ctx.free(base)
+            return (base,)
+
+        if use_read:
+            _run_twin(policy, setup,
+                      lambda mem, p: ref_read_span(mem, p, length),
+                      lambda mem, p: mem.read_span(p, length))
+        else:
+            payload = bytes(range(length % 251, length % 251 + length))[:length] or b"\x01"
+            _run_twin(policy, setup,
+                      lambda mem, p: ref_write_span(mem, p, payload),
+                      lambda mem, p: mem.write_span(p, payload))
+
+    @settings(**COMMON_SETTINGS)
+    @given(policy=policies, payload=text, dst_size=sizes,
+           terminated=st.booleans())
+    def test_read_span_until_crosses_the_boundary(self, policy, payload, dst_size, terminated):
+        """read_span_until with a limit past the unit end: the scan either
+        finds the NUL in the span or continues through the invalid run via
+        the policy's scan hook (falling back per byte where it must)."""
+
+        def setup(ctx):
+            buf = ctx.malloc(max(1, dst_size), name="scanbuf")
+            stored = payload[:dst_size]
+            if stored:
+                ctx.mem.write(buf, stored)
+            if terminated and len(stored) < dst_size:
+                ctx.mem.write_byte(buf + len(stored), 0)
+            return (buf,)
+
+        def reference(mem, p):
+            # Per-byte model of "read until NUL, limit N": read_byte until a
+            # zero appears or the limit is exhausted.
+            limit = dst_size + 16
+            out = bytearray()
+            for i in range(limit):
+                byte = mem.read_byte(p + i)
+                out.append(byte)
+                if byte == 0:
+                    return (bytes(out), i)
+            return (bytes(out), -1)
+
+        def fast(mem, p):
+            limit = dst_size + 16
+            out = bytearray()
+            pos = 0
+            # Mirror the reference loop on top of read_span_until, taking the
+            # per-byte path wherever the accessor reports no progress.
+            while pos < limit:
+                data, index = mem.read_span_until(p + pos, 0, limit - pos)
+                if index >= 0:
+                    out += data
+                    return (bytes(out), pos + index)
+                if data:
+                    out += data
+                    pos += len(data)
+                    continue
+                byte = mem.read_byte(p + pos)
+                out.append(byte)
+                if byte == 0:
+                    return (bytes(out), pos)
+                pos += 1
+            return (bytes(out), -1)
+
+        _run_twin(policy, setup, reference, fast)
+
+
+class TestAttackFloodEquivalence:
+    """The headline scenario: a long attack payload overflowing a small buffer.
+
+    The destination leaves its unit early, so nearly every written byte is an
+    invalid access — exactly the flood the batched continuation collapses to
+    one policy decision per source span.  Everything observable must equal
+    the frozen per-byte loops, under every policy.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(policy=policies,
+           dst_size=st.integers(min_value=1, max_value=16),
+           flood_len=st.integers(min_value=32, max_value=600))
+    def test_strcpy_flood(self, policy, dst_size, flood_len):
+        def setup(ctx):
+            src = ctx.alloc_c_string(b"A" * flood_len, name="attack")
+            dst = ctx.malloc(dst_size, name="victim")
+            return dst, src
+
+        _run_twin(policy, setup, ref_strcpy, cstring.strcpy)
+
+    @settings(max_examples=20, deadline=None)
+    @given(policy=policies,
+           dst_size=st.integers(min_value=1, max_value=16),
+           n=st.integers(min_value=32, max_value=300),
+           payload_len=st.integers(min_value=0, max_value=80))
+    def test_strncpy_flood_with_padding(self, policy, dst_size, n, payload_len):
+        """Covers both flood phases: copying past the unit and NUL-padding
+        past the unit."""
+
+        def setup(ctx):
+            src = ctx.alloc_c_string(b"B" * payload_len, name="attack")
+            dst = ctx.malloc(dst_size, name="victim")
+            return dst, src
+
+        _run_twin(policy, setup,
+                  lambda mem, d, s: ref_strncpy(mem, d, s, n),
+                  lambda mem, d, s: cstring.strncpy(mem, d, s, n))
+
+    @settings(max_examples=15, deadline=None)
+    @given(policy=policies, flood_len=st.integers(min_value=64, max_value=600))
+    def test_boundless_flood_read_back(self, policy, flood_len):
+        """After a flood, reading the overflowed range back replays stored
+        bytes (boundless) or manufactures (others) identically per byte."""
+
+        def run(mem, dst, src):
+            try:
+                cstring.strcpy(mem, dst, src)
+            except MemoryFault:
+                pass
+            return mem.read_span(dst, flood_len + 1)
+
+        def run_reference(mem, dst, src):
+            try:
+                ref_strcpy(mem, dst, src)
+            except MemoryFault:
+                pass
+            return ref_read_span(mem, dst, flood_len + 1)
+
+        def setup(ctx):
+            src = ctx.alloc_c_string(b"C" * flood_len, name="attack")
+            dst = ctx.malloc(8, name="victim")
+            return dst, src
+
+        _run_twin(policy, setup, run_reference, run)

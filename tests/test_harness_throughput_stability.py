@@ -2,9 +2,12 @@
 
 import pytest
 
+from repro.errors import SegmentationFault
 from repro.harness.stability import run_stability_experiment
 from repro.harness.throughput import run_throughput_experiment, throughput_ratio
-from repro.workloads.streams import mixed_stream
+from repro.servers.base import Request, Response, Server
+from repro.servers.profile import ServerProfile, register_profile, unregister_profile
+from repro.workloads.streams import RequestStream, mixed_stream
 
 
 class TestThroughput:
@@ -93,3 +96,67 @@ class TestStability:
             "mutt", "failure-oblivious", total_requests=30, attack_every=6, scale=0.1
         )
         assert 0.0 <= result.legitimate_service_rate <= 1.0
+
+
+class FragileServer(Server):
+    """Toy server: one "crash" request kills it, and every restart dies at boot.
+
+    Models a persistent trigger (Pine's poisoned mailbox): the first boot
+    succeeds, but once crashed, the monitor's restarts keep hitting the same
+    startup fault.
+    """
+
+    name = "toy-fragile"
+
+    def startup(self) -> None:
+        boots = self.config.setdefault("boots", [])
+        boots.append(1)
+        if len(boots) > 1:
+            raise SegmentationFault(0, "persistent trigger hit during restart boot")
+
+    def handle(self, request: Request) -> Response:
+        if request.kind == "crash":
+            raise SegmentationFault(0, "request smashed the heap")
+        return Response.ok(body=b"ok")
+
+
+@pytest.fixture
+def fragile_profile():
+    profile = register_profile(ServerProfile(
+        name="toy-fragile",
+        server_cls=FragileServer,
+        description="toy server whose restarts fail (stability regression test)",
+    ))
+    yield profile
+    unregister_profile(profile.name)
+
+
+class TestRestartDeathAccounting:
+    """Regression: a restart that dies at boot is a server death on BOTH paths.
+
+    The boot-time path always counted it; the in-loop path (stability.py's
+    request loop) silently dropped it, understating server_deaths for every
+    persistent-trigger scenario.
+    """
+
+    def test_failed_in_loop_restarts_count_as_deaths(self, fragile_profile):
+        stream = RequestStream(requests=[
+            Request(kind="ok"),
+            Request(kind="crash"),
+            Request(kind="ok"),
+            Request(kind="ok"),
+        ])
+        result = run_stability_experiment("toy-fragile", "standard", stream=stream)
+        # One death from the crashing request, plus one per failed restart
+        # attempt (the monitor retries before each remaining request).
+        assert result.restarts == 2
+        assert result.server_deaths == 3
+        assert result.legitimate_served == 1
+        # The crashing request plus the two requests arriving while down.
+        assert result.legitimate_failed == 3
+
+    def test_successful_restarts_still_count_no_extra_deaths(self, fragile_profile):
+        stream = RequestStream(requests=[Request(kind="ok"), Request(kind="ok")])
+        result = run_stability_experiment("toy-fragile", "standard", stream=stream)
+        assert result.server_deaths == 0
+        assert result.restarts == 0

@@ -23,6 +23,7 @@ from repro.telemetry import (
     Redirect,
     RequestEnd,
     RequestStart,
+    expand_invalid_accesses,
 )
 
 
@@ -163,6 +164,43 @@ class TestCoalescingRingSink:
         assert len(ring) == len(naive.items)
         assert ring.dropped == naive.dropped
 
+    @settings(max_examples=120, deadline=None)
+    @given(
+        capacity=st.integers(1, 40),
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b"]),     # site: starts new runs
+                st.integers(-5, 30),             # first offset
+                st.integers(1, 25),              # run count (1 = single append)
+                st.integers(-2, 3),              # stride for run appends
+            ),
+            max_size=40,
+        ),
+        tails=st.lists(st.integers(0, 60), max_size=4),
+    )
+    def test_invariants_under_random_run_streams(self, capacity, steps, tails):
+        """Acceptance invariants under random single/run streams with partial
+        evictions: retained size never exceeds capacity, events() equals an
+        uncoalesced reference log, and tail(n) is always events()[-n:]."""
+        ring = CoalescingRingSink(capacity=capacity)
+        naive = NaiveRing(capacity=capacity)
+        for site, offset, count, stride in steps:
+            first = make_error(site=site, offset=offset)
+            if count == 1:
+                ring.append(first)
+                naive.append(first)
+            else:
+                ring.append_run(first, stride=stride, count=count)
+                for i in range(count):
+                    naive.append(make_error(site=site, offset=offset + stride * i))
+            assert len(ring) <= ring.capacity
+        events = ring.events()
+        assert events == naive.items
+        assert len(ring) == len(events)
+        assert ring.dropped == naive.dropped
+        for n in tails + [len(events), len(events) + 5]:
+            assert ring.tail(n) == (events[-n:] if n > 0 else [])
+
 
 class TestErrorLogFacade:
     """The §3 log is a façade over the bus: its answers equal direct bus queries."""
@@ -203,7 +241,9 @@ class TestErrorLogFacade:
         assert log.total_recorded == counter.invalid_total > 0
         assert log.count_by_site() == Counter(counter.invalid_by_site)
         assert log.count_by_kind() == Counter(counter.invalid_by_kind)
-        assert log.events() == [e.error for e in capture.events]
+        # The batched continuation publishes floods as run records; the log
+        # expands them, so the captured stream must be expanded to compare.
+        assert log.events() == expand_invalid_accesses(capture.events)
 
     def test_capacity_still_enforced(self):
         log = MemoryErrorLog(capacity=2)
@@ -348,3 +388,137 @@ def test_facade_clear_resets_everything(capacity):
     assert len(log) == 0
     assert log.total_recorded == 0
     assert log.dropped == 0
+
+
+# ---------------------------------------------------------------------------
+# Batched-run telemetry (PR 4): run records, ring ingest, store reclaim.
+# ---------------------------------------------------------------------------
+
+
+class TestRunRecords:
+    def test_counter_sink_weighs_runs(self):
+        sink = CounterSink()
+        sink.emit(InvalidAccess(error=make_error(site="a"), count=100, stride=1))
+        sink.emit(Manufacture(length=40, count=40))
+        sink.emit(Discard(length=60, count=60))
+        sink.emit(Redirect(offset=9, redirect_offset=1, length=50, count=50))
+        assert sink.invalid_total == 100
+        assert sink.invalid_by_site["a"] == 100
+        assert sink.by_type["InvalidAccess"] == 100
+        assert sink.by_type["Redirect"] == 50
+        assert sink.manufactured_bytes == 40
+        assert sink.discarded_bytes == 60
+        assert sink.redirected_accesses == 50
+
+    def test_run_record_expands_to_per_byte_events(self):
+        run = InvalidAccess(error=make_error(offset=7), count=4, stride=1)
+        assert [e.offset for e in run.expand()] == [7, 8, 9, 10]
+        assert expand_invalid_accesses([run, InvalidAccess(error=make_error(offset=99))]) \
+            == list(run.expand()) + [make_error(offset=99)]
+
+    def test_ring_ingests_runs_directly(self):
+        ring = CoalescingRingSink(capacity=10_000)
+        ring.emit(InvalidAccess(error=make_error(offset=100), count=5_000, stride=1))
+        assert ring.run_count == 1
+        assert len(ring) == 5_000
+        assert ring.events() == [make_error(offset=100 + i) for i in range(5_000)]
+
+    def test_ring_merges_contiguous_run_chunks(self):
+        """Consecutive chunks of one flood (successive source spans) stay one run."""
+        ring = CoalescingRingSink(capacity=10_000)
+        ring.append_run(make_error(offset=0), stride=1, count=64)
+        ring.append_run(make_error(offset=64), stride=1, count=64)
+        assert ring.run_count == 1
+        assert ring.events() == [make_error(offset=i) for i in range(128)]
+
+    def test_run_larger_than_capacity_keeps_newest_tail(self):
+        ring = CoalescingRingSink(capacity=100)
+        ring.append_run(make_error(offset=0), stride=1, count=1_000)
+        assert len(ring) == 100
+        assert ring.dropped == 900
+        assert ring.events() == [make_error(offset=i) for i in range(900, 1_000)]
+
+    def test_mixed_singles_and_runs_match_per_byte_log(self):
+        """The same flood recorded as runs or per byte answers identically."""
+        per_byte = MemoryErrorLog(capacity=300)
+        batched = MemoryErrorLog(capacity=300)
+        batched.record(make_error(offset=0))
+        per_byte.record(make_error(offset=0))
+        batched.record_run(make_error(offset=1), count=500)
+        for i in range(500):
+            per_byte.record(make_error(offset=1 + i))
+        batched.record_run(make_error(site="b", offset=0), count=3)
+        for i in range(3):
+            per_byte.record(make_error(site="b", offset=i))
+        assert batched.events() == per_byte.events()
+        assert batched.total_recorded == per_byte.total_recorded
+        assert batched.dropped == per_byte.dropped
+        assert batched.count_by_site() == per_byte.count_by_site()
+        assert batched.tail(7) == per_byte.tail(7)
+
+
+class TestCounterSinkClear:
+    def test_clear_resets_every_field(self):
+        sink = CounterSink()
+        sink.emit(InvalidAccess(error=make_error()))
+        sink.emit(Manufacture(length=5))
+        sink.emit(RequestEnd(request_id=1, kind="read", outcome="served"))
+        sink.clear()
+        assert sink == CounterSink()
+
+    def test_clear_does_not_reinvoke_init(self):
+        """Subclasses with richer constructors survive clear() (the old
+        ``self.__init__()`` reset would call the subclass __init__ with no
+        arguments and blow up or corrupt non-init state)."""
+
+        class TaggedCounterSink(CounterSink):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+        sink = TaggedCounterSink("keep-me")
+        sink.emit(Manufacture(length=3))
+        sink.clear()
+        assert sink.tag == "keep-me"
+        assert sink.manufactured_bytes == 0
+
+
+class TestBoundlessReclaim:
+    def test_free_releases_stored_capacity(self):
+        policy = BoundlessPolicy(max_stored_bytes=8)
+        ctx = MemoryContext(policy)
+        ptr = ctx.malloc(8, name="leaky")
+        ctx.mem.write(ptr + 8, b"abcdefgh")  # fill the side store
+        assert policy.stored_bytes() == 8
+        ctx.free(ptr)
+        assert policy.stored_bytes() == 0
+        # The released capacity is usable again: a fresh unit's overflow is
+        # stored, not silently degraded to discard mode.
+        fresh = ctx.malloc(8, name="fresh")
+        ctx.mem.write(fresh + 8, b"XY")
+        data = ctx.mem.read(fresh + 8, 2)
+        assert data == b"XY"
+        assert policy.stored_bytes() == 2
+
+    def test_free_of_other_unit_keeps_store(self):
+        policy = BoundlessPolicy()
+        ctx = MemoryContext(policy)
+        keeper, other = ctx.malloc(8, name="keeper"), ctx.malloc(8, name="other")
+        ctx.mem.write(keeper + 8, b"zz")
+        ctx.free(other)
+        assert policy.stored_bytes() == 2
+        assert ctx.mem.read(keeper + 8, 2) == b"zz"
+
+    def test_stack_frame_pop_releases_stored_capacity(self):
+        """Stack locals die by frame pop, which never emits AllocFree; the
+        object-table death hook reclaims their store anyway — otherwise a
+        soak overflowing a stack local each request leaks to capacity."""
+        policy = BoundlessPolicy(max_stored_bytes=8)
+        ctx = MemoryContext(policy)
+        for _ in range(5):  # each iteration would leak 8 bytes without reclaim
+            with ctx.stack_frame("handler"):
+                buf = ctx.stack_buffer("local", 8)
+                ctx.seal_frame()
+                ctx.mem.write(buf + 8, b"abcdefgh")
+                assert policy.stored_bytes() == 8
+            assert policy.stored_bytes() == 0

@@ -49,14 +49,18 @@ memory_errors = st.builds(
     request_id=request_ids,
 )
 
+run_counts = st.integers(min_value=1, max_value=10**6)
+strides = st.integers(min_value=-4, max_value=4)
+
 events = st.one_of(
-    st.builds(InvalidAccess, error=memory_errors),
+    st.builds(InvalidAccess, error=memory_errors, count=run_counts, stride=strides),
     st.builds(Discard, length=counts, site=text, request_id=request_ids,
-              stored=st.booleans()),
-    st.builds(Manufacture, length=counts, site=text, request_id=request_ids),
+              stored=st.booleans(), count=run_counts),
+    st.builds(Manufacture, length=counts, site=text, request_id=request_ids,
+              count=run_counts),
     st.builds(Redirect, offset=offsets, redirect_offset=offsets, length=counts,
               access=st.sampled_from(["read", "write"]), site=text,
-              request_id=request_ids),
+              request_id=request_ids, count=run_counts),
     st.builds(AllocFree, op=st.sampled_from(["malloc", "free"]), unit_name=text,
               size=counts, base=counts, request_id=request_ids),
     st.builds(RequestStart, request_id=counts, kind=text, is_attack=st.booleans()),
@@ -100,6 +104,45 @@ class TestRoundTrip:
             assert "mystery" in str(exc)
         else:  # pragma: no cover - defensive
             raise AssertionError("expected ValueError")
+
+
+class TestSummaryRunWeighting:
+    def test_flood_summarizes_identically_per_byte_or_as_runs(self):
+        """The same flood exported as per-byte records or as one run record
+        produces identical summary queries (count-weighted aggregation)."""
+        from repro.errors import MemoryErrorEvent
+        from repro.telemetry import InvalidAccess, summarize_records
+
+        def records(batched):
+            scope = {"server": "pine", "policy": "failure-oblivious"}
+            if batched:
+                stream = [
+                    InvalidAccess(error=MemoryErrorEvent(
+                        kind=ErrorKind.OUT_OF_BOUNDS, access=AccessKind.WRITE,
+                        unit_name="buf#1", unit_size=8, offset=8, length=1,
+                        site="flood"), count=500, stride=1),
+                    Discard(length=500, count=500, site="flood"),
+                ]
+            else:
+                stream = [
+                    InvalidAccess(error=MemoryErrorEvent(
+                        kind=ErrorKind.OUT_OF_BOUNDS, access=AccessKind.WRITE,
+                        unit_name="buf#1", unit_size=8, offset=8 + i, length=1,
+                        site="flood"))
+                    for i in range(500)
+                ] + [Discard(length=1, site="flood") for _ in range(500)]
+            return [dict(to_record(event), scope=scope) for event in stream]
+
+        batched = summarize_records(records(batched=True))
+        per_byte = summarize_records(records(batched=False))
+        assert batched.invalid_total == per_byte.invalid_total == 500
+        assert batched.by_type == per_byte.by_type
+        assert batched.invalid_by_site == per_byte.invalid_by_site
+        assert batched.discarded_bytes == per_byte.discarded_bytes == 500
+        assert batched.servers == per_byte.servers
+        assert batched.policies == per_byte.policies
+        # Only the raw record count shrinks — the point of batching.
+        assert batched.total_events < per_byte.total_events
 
 
 class TestSessionSpillMerge:
