@@ -65,8 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="workload scale factor (see DESIGN.md)")
     run_parser.add_argument("--workers", type=int, default=None,
                             help="process count for experiments that fan out "
-                                 "(figure cells, security-matrix cells); "
-                                 "default runs serially")
+                                 "(figure cells, security-matrix cells, soak "
+                                 "shards); default runs serially")
 
     attack_parser = subparsers.add_parser(
         "attack", help="run the documented attack scenario against one server"

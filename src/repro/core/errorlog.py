@@ -86,6 +86,21 @@ class MemoryErrorLog:
         self._ring.clear()
         self._counts.clear()
 
+    def checkpoint(self) -> tuple:
+        """Snapshot the ring and the aggregate counters (pure data)."""
+        return (self._ring.checkpoint(), self._counts.checkpoint())
+
+    def restore(self, cp: tuple) -> None:
+        """Reset ring and counters to a snapshot taken by :meth:`checkpoint`.
+
+        Every query answers exactly as it did at checkpoint time; sinks other
+        than the façade's own pair are untouched (external observers are the
+        server's concern — it replays the boot event stream to them).
+        """
+        ring_cp, counts_cp = cp
+        self._ring.restore(ring_cp)
+        self._counts.restore(counts_cp)
+
     # -- queries ----------------------------------------------------------------
 
     def __len__(self) -> int:

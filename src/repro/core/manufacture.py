@@ -50,6 +50,14 @@ class ManufacturedValueSequence:
         self._phase = 0
         self._produced = 0
 
+    def checkpoint(self) -> tuple:
+        """Snapshot the generator position (for process-image checkpoints)."""
+        return (self._counter, self._phase, self._produced)
+
+    def restore(self, cp: tuple) -> None:
+        """Rewind the generator to a snapshot taken by :meth:`checkpoint`."""
+        self._counter, self._phase, self._produced = cp
+
     @property
     def produced(self) -> int:
         """Total number of values handed out so far."""
@@ -147,3 +155,10 @@ class FixedValueSequence(ManufacturedValueSequence):
     def reset(self) -> None:  # noqa: D102
         super().reset()
         self._index = 0
+
+    def checkpoint(self) -> tuple:  # noqa: D102 - adds the cycling index
+        return super().checkpoint() + (self._index,)
+
+    def restore(self, cp: tuple) -> None:  # noqa: D102
+        super().restore(cp[:3])
+        self._index = cp[3]

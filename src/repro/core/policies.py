@@ -161,6 +161,15 @@ class FailureObliviousPolicy(AccessPolicy):
                                   request_id=event.request_id))
         return AccessDecision.supply(bytes(out))
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["sequence"] = self.sequence.checkpoint()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.sequence.restore(state["sequence"])
+
 
 class _BoundlessReclaimSink(Sink):
     """Bus listener that releases a freed unit's boundless side store.
@@ -375,6 +384,17 @@ class BoundlessPolicy(FailureObliviousPolicy):
         """Return how many out-of-bounds bytes are currently remembered."""
         return self._stored_total
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["store"] = {key: dict(bucket) for key, bucket in self._store.items()}
+        state["stored_total"] = self._stored_total
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._store = {key: dict(bucket) for key, bucket in state["store"].items()}
+        self._stored_total = state["stored_total"]
+
 
 class RedirectPolicy(AccessPolicy):
     """§5.1 redirect variant: wrap out-of-bounds accesses back into the unit.
@@ -389,6 +409,7 @@ class RedirectPolicy(AccessPolicy):
     name = "redirect"
     performs_checks = True
     supports_runs = True
+    supports_scan_runs = True
 
     def __init__(
         self,
@@ -466,6 +487,53 @@ class RedirectPolicy(AccessPolicy):
                            length=count, access=event.access.value, count=count,
                            site=event.site, request_id=event.request_id))
         return AccessDecision.redirect(target)
+
+    # -- batched terminator scans: the preview/commit protocol -------------------
+    #
+    # The redirect policy's invalid-read bytes live *in the unit* (the access
+    # wraps to offset % size), so the policy cannot produce the scan bytes
+    # itself the way failure-oblivious and boundless do.  Instead it returns a
+    # REDIRECT preview; the accessor scans the wrapped range with its own raw
+    # reads — stopping exactly where the per-byte loop would — and commits the
+    # consumed length back here, where the deferred per-byte recording
+    # happens.  Dead and zero-sized units fall back to manufactured bytes, the
+    # same continuation the scalar hook takes, so those scans batch too.
+
+    def scan_invalid_read_run(self, event, count, until):
+        if event.kind is ErrorKind.USE_AFTER_FREE or event.unit_size <= 0:
+            out = bytearray()
+            for _ in range(count):
+                byte = self.sequence.next_byte()
+                out.append(byte)
+                if byte in until:
+                    break
+            produced = len(out)
+            if produced:
+                self.record_event_run(event, produced)
+                self.stats.manufactured_values += produced
+                self.emit(Manufacture(length=produced, count=produced, site=event.site,
+                                      request_id=event.request_id))
+            return AccessDecision.supply(bytes(out))
+        return AccessDecision.redirect(event.offset % event.unit_size)
+
+    def commit_scan_run(self, event: MemoryErrorEvent, consumed: int) -> None:
+        if consumed <= 0:
+            return
+        self.record_event_run(event, consumed)
+        self.stats.redirected_accesses += consumed
+        target = event.offset % event.unit_size
+        self.emit(Redirect(offset=event.offset, redirect_offset=target,
+                           length=consumed, access=event.access.value, count=consumed,
+                           site=event.site, request_id=event.request_id))
+
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["sequence"] = self.sequence.checkpoint()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.sequence.restore(state["sequence"])
 
 
 #: Registry of policy names used by the harness's command-line style configuration.

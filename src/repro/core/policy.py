@@ -202,13 +202,33 @@ class AccessPolicy(ABC):
         record exactly as many per-byte events as bytes produced; the hit is
         the last returned byte iff it is in ``until``.
 
+        Policies whose invalid-read bytes live in simulated memory (redirect)
+        cannot produce the bytes themselves; they may instead return a
+        REDIRECT decision — a *preview*.  The accessor then performs the
+        wrapped scan over the unit's own bytes, stopping exactly where the
+        per-byte loop would, and reports how many per-byte reads that
+        consumed via :meth:`commit_scan_run`, which does the deferred
+        recording.
+
         Returning None (the default) tells the accessor to fall back to one
         policy decision per byte; policies that can never scan-batch leave
-        ``supports_scan_runs`` False instead (the redirect policy: its bytes
-        live in memory the policy cannot see), which skips even the
+        ``supports_scan_runs`` False instead, which skips even the
         classification round trip.
         """
         return None
+
+    def commit_scan_run(self, event: MemoryErrorEvent, consumed: int) -> None:
+        """Record a previewed scan after the accessor performed it.
+
+        Called only after :meth:`scan_invalid_read_run` returned a REDIRECT
+        preview; ``consumed`` is how many per-byte invalid reads the scan
+        performed (including the terminator hit, if any).  Implementations
+        must record exactly what ``consumed`` scalar ``on_invalid_read`` calls
+        would have recorded.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} previewed a scan run but lacks commit_scan_run"
+        )
 
     # -- shared bookkeeping ----------------------------------------------------
 
@@ -251,6 +271,27 @@ class AccessPolicy(ABC):
     def reset_statistics(self) -> None:
         """Zero the statistics counters (the error log is left untouched)."""
         self.stats.reset()
+
+    # -- checkpoint / restore --------------------------------------------------
+    #
+    # A policy carries per-process-image side state: the statistics counters,
+    # the error log, and (in subclasses) manufactured-value generators and
+    # out-of-bounds stores.  The process-image checkpoint captures it all so
+    # a restored image answers every query exactly as a from-scratch reboot
+    # would.  Subclasses extend the returned dict via super().
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot the policy's per-image side state (pure data)."""
+        return {
+            "stats": dict(self.stats.as_dict()),
+            "log": self.error_log.checkpoint(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset the policy's side state to a :meth:`checkpoint_state` snapshot."""
+        for field_name, value in state["stats"].items():
+            setattr(self.stats, field_name, value)
+        self.error_log.restore(state["log"])
 
     def describe(self) -> str:
         """Return a short human readable description of the policy."""

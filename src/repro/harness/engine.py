@@ -18,6 +18,10 @@ every workload shape against any profile:
     A long mixed workload with periodic attack injection (§4.x.4).
 ``throughput``
     The Apache-style throughput-under-attack experiment (§4.3.2).
+``soak``
+    A restart-heavy sharded soak: the stream is chunked deterministically,
+    every chunk runs against a clone of one post-boot process image, and the
+    chunks fan out over the fork pool (see :mod:`repro.harness.soak`).
 
 New servers participate in every shape by registering a profile (zero engine
 edits); new workload shapes plug in with
@@ -233,6 +237,7 @@ class ExperimentEngine:
             "attack": ExperimentEngine._run_attack,
             "stability": ExperimentEngine._run_stability,
             "throughput": ExperimentEngine._run_throughput,
+            "soak": ExperimentEngine._run_soak,
         }
 
     # -- registry access -----------------------------------------------------------
@@ -468,6 +473,21 @@ class ExperimentEngine:
         from repro.harness.stability import run_stability_experiment
 
         return run_stability_experiment(
+            spec.server, spec.policy, scale=spec.scale, config=spec.config,
+            **dict(spec.params)
+        )
+
+    def _run_soak(self, spec: ScenarioSpec) -> object:
+        """Sharded in-scenario soak: boot once, fan stream chunks over workers.
+
+        The long mixed stream is split into deterministic chunks; every chunk
+        runs against a clone of the same post-boot process image, serially or
+        over the fork pool (``params["workers"]``), with identical tallies
+        either way.  See :mod:`repro.harness.soak`.
+        """
+        from repro.harness.soak import run_soak_experiment
+
+        return run_soak_experiment(
             spec.server, spec.policy, scale=spec.scale, config=spec.config,
             **dict(spec.params)
         )

@@ -18,6 +18,9 @@ Experiment ids
     Apache legitimate-request throughput while under attack (§4.3.2).
 ``exp-stability``
     Long mixed workloads with periodic attacks for every server (§4.x.4).
+``exp-soak``
+    Restart-heavy sharded soak per build: deaths restore the post-boot
+    checkpoint, the stream fans out over the fork pool (``workers``).
 ``exp-variants``
     §5.1 variants (boundless memory blocks, redirect) on the attack scenarios.
 ``exp-propagation``
@@ -37,6 +40,7 @@ from repro.harness.report import (
     format_security_matrix,
     format_simple_table,
 )
+from repro.harness.soak import run_soak_experiment
 from repro.harness.stability import run_stability_experiment
 from repro.harness.throughput import run_throughput_experiment, throughput_ratio
 from repro.harness.timing import wall_clock
@@ -233,6 +237,63 @@ def _run_stability(
 
 
 # ---------------------------------------------------------------------------
+# Sharded soak (checkpointed restarts + in-scenario fan-out)
+# ---------------------------------------------------------------------------
+
+
+def _run_soak(
+    server: str = "apache",
+    total_requests: int = 400,
+    attack_every: int = 2,
+    shards: int = 8,
+    workers: Optional[int] = None,
+    scale: float = 0.25,
+    policies: tuple = ("standard", "bounds-check", "failure-oblivious"),
+) -> ExperimentOutput:
+    """Restart-heavy soak per build: the §4.3.2 shape at soak length.
+
+    Every death is recovered by restoring the post-boot process image; the
+    stream is sharded over the fork pool when ``workers`` > 1 (tallies are
+    identical to the serial run either way).
+    """
+    results = {}
+    rows = []
+    for policy_name in policies:
+        result = run_soak_experiment(
+            server, policy_name, total_requests=total_requests,
+            attack_every=attack_every, shards=shards, workers=workers,
+            scale=scale,
+        )
+        results[policy_name] = result
+        rows.append(
+            (
+                policy_name,
+                result.legitimate_served,
+                result.server_deaths,
+                result.restarts,
+                f"{result.wall_seconds:.3f}s",
+                f"{result.requests_per_sec:.0f}",
+            )
+        )
+    mode = f"{workers} workers" if workers and workers > 1 else "serial"
+    table = format_simple_table(
+        ["build", "legit served", "deaths", "restarts", "wall clock", "soak req/s"],
+        rows,
+        title=f"Sharded {server} soak under attack (checkpointed restarts, {mode})",
+    )
+    return ExperimentOutput(
+        experiment_id="exp-soak",
+        title=f"Sharded soak throughput for {server}",
+        table=table,
+        data=results,
+        notes=[
+            f"{shards} shards, attack every {attack_every} requests; every death "
+            "restores the post-boot checkpoint instead of rebooting",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
 # §5.1 variants
 # ---------------------------------------------------------------------------
 
@@ -319,6 +380,7 @@ EXPERIMENTS.update(
         "tab-security": _run_security,
         "exp-throughput": _run_throughput,
         "exp-stability": _run_stability,
+        "exp-soak": _run_soak,
         "exp-variants": _run_variants,
         "exp-propagation": _run_propagation,
     }

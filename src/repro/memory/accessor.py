@@ -128,6 +128,17 @@ class MemoryAccessor:
         # PERFORM_RAW / DISCARD fall through to the raw access.
         return prefix + self.space.read(oob_ptr.address, oob_len)
 
+    @staticmethod
+    def _tile_rotation(rotated: bytes, length: int) -> bytes:
+        """Extend one full rotation of a unit's bytes out to ``length``.
+
+        The single definition of the wrap-and-tile idiom: per-byte accesses at
+        offsets ``o, o+1, ...`` revisit the same rotation every ``len(rotated)``
+        bytes, so a range longer than the unit repeats it.
+        """
+        repeats = -(-length // len(rotated))  # ceil division
+        return (rotated * repeats)[:length]
+
     def _read_redirected(self, ptr: FatPointer, length: int) -> bytes:
         """Read a redirected range, wrapping around inside the unit as needed.
 
@@ -146,8 +157,7 @@ class MemoryAccessor:
             self.space.read(unit.base + offset, size - offset)
             + self.space.read(unit.base, offset)
         )
-        repeats = -(-length // size)  # ceil division
-        return (rotated * repeats)[:length]
+        return self._tile_rotation(rotated, length)
 
     # -- writes ----------------------------------------------------------------------
 
@@ -188,6 +198,48 @@ class MemoryAccessor:
             return
         # PERFORM_RAW: the unchecked behaviour, performed deliberately.
         self.space.write(oob_ptr.address, oob_data)
+
+    def _scan_redirected(
+        self, unit: DataUnit, offset: int, count: int, target: int
+    ) -> "tuple[bytes, bool]":
+        """Terminator scan over a redirected (wrapped) range: the commit side
+        of the redirect policy's preview/commit scan protocol.
+
+        Visits the unit bytes at ``(offset + i) % size`` for ``i`` in
+        ``[0, count)``, stopping after the first ``target`` — exactly the
+        bytes the per-byte loop would have observed, in the same order.
+        Returns the bytes visited (terminator included) and whether it was
+        found.  One full wrap covers every unit offset, so a miss after
+        ``size`` visited bytes can never become a hit later (nothing writes
+        the unit mid-scan); the remainder is tiled without re-searching.
+        """
+        size = unit.size
+        space = self.space
+        start = offset % size
+        first_len = min(count, size - start)
+        index = space.find_byte(unit.base + start, target, first_len, charge_reads=False)
+        if index >= 0:
+            return space.read(unit.base + start, index + 1), True
+        head = space.read(unit.base + start, first_len)
+        rest = count - first_len
+        if rest <= 0:
+            return head, False
+        second_len = min(rest, start)
+        if second_len > 0:
+            index = space.find_byte(unit.base, target, second_len, charge_reads=False)
+            if index >= 0:
+                return head + space.read(unit.base, index + 1), True
+        if rest <= start:
+            return head + space.read(unit.base, second_len), False
+        # The whole unit was searched without a hit; tile the rotation out to
+        # ``count`` bytes (the per-byte loop would keep reading the same
+        # wrapped content until its limit ran out).  The raw reads stay
+        # per-byte-faithful: the slice reads above charged one rotation, and
+        # the tiled remainder is charged explicitly — only checks_performed
+        # moves to per-run granularity.
+        rotated = head + space.read(unit.base, start)
+        space.raw_reads += count - len(rotated)
+        return self._tile_rotation(rotated, count), False
 
     def _write_redirected(self, unit: DataUnit, offset: int, data: bytes) -> None:
         """Write a redirected range, wrapping inside the unit as needed.
@@ -485,6 +537,19 @@ class MemoryAccessor:
                 break
             if decision.action is DecisionAction.RAISE:
                 raise decision.exception
+            if decision.action is DecisionAction.REDIRECT:
+                # Preview/commit: the policy's bytes live in the unit, so the
+                # accessor performs the wrapped scan and reports the consumed
+                # length back for the deferred per-byte recording.
+                data, hit = self._scan_redirected(
+                    here.referent, decision.redirect_offset, run, target
+                )
+                policy.commit_scan_run(event, len(data))
+                out += data
+                if hit:
+                    return bytes(out), pos + len(data) - 1
+                pos += len(data)
+                continue
             data = decision.data
             if not data:
                 break

@@ -11,8 +11,9 @@ stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import SegmentationFault
 
@@ -27,6 +28,18 @@ GLOBALS_BASE = 0x1000_0000
 HEAP_BASE = 0x2000_0000
 STACK_BASE = 0x7000_0000
 
+#: Granularity of the dirty tracking used by checkpoint restores.  Writes mark
+#: blocks of this many bytes dirty; a restore copies back only the blocks
+#: touched since the checkpoint, so a restart costs O(dirty bytes) rather than
+#: O(address-space size).
+DIRTY_BLOCK = 4096
+_DIRTY_SHIFT = DIRTY_BLOCK.bit_length() - 1
+
+#: Global epoch source for checkpoints.  Epochs are only compared for
+#: equality: a restore may take the dirty-block fast path only when the space
+#: is known to be clean with respect to *that* checkpoint.
+_checkpoint_epochs = itertools.count(1)
+
 
 @dataclass
 class Segment:
@@ -35,6 +48,8 @@ class Segment:
     name: str
     base: int
     data: bytearray
+    #: Indices of DIRTY_BLOCK-sized blocks written since the last checkpoint.
+    dirty: Set[int] = field(default_factory=set)
 
     @property
     def size(self) -> int:
@@ -49,6 +64,25 @@ class Segment:
     def contains(self, address: int, length: int = 1) -> bool:
         """True if ``[address, address + length)`` lies entirely inside the segment."""
         return self.base <= address and address + length <= self.end
+
+    def mark_dirty(self, start: int, length: int) -> None:
+        """Record that ``[start, start + length)`` (segment offsets) was written."""
+        self.dirty.update(range(start >> _DIRTY_SHIFT, (start + length - 1 >> _DIRTY_SHIFT) + 1))
+
+
+@dataclass(frozen=True)
+class AddressSpaceCheckpoint:
+    """Immutable snapshot of every mapped segment plus the access counters.
+
+    ``segments`` maps name to (base, contents); the payloads are ``bytes``, so
+    a checkpoint can be shared between processes and restored into any
+    address space (cloning a pre-forked child reuses one parent snapshot).
+    """
+
+    epoch: int
+    segments: Tuple[Tuple[str, int, bytes], ...]
+    raw_reads: int
+    raw_writes: int
 
 
 class AddressSpace:
@@ -76,6 +110,9 @@ class AddressSpace:
         #: Most recently hit segment; the byte fast paths below probe it first
         #: because consecutive accesses overwhelmingly hit the same segment.
         self._last_segment: Optional[Segment] = None
+        #: Epoch of the checkpoint the dirty sets are tracked against, or None
+        #: when no checkpoint has been taken (or the layout changed since).
+        self._clean_epoch: Optional[int] = None
 
     # -- segment management ------------------------------------------------------
 
@@ -92,6 +129,9 @@ class AddressSpace:
         self._segments[name] = segment
         self._ordered.append(segment)
         self._ordered.sort(key=lambda s: s.base)
+        # The layout no longer matches any earlier checkpoint, so restores
+        # must take the full-copy path until the next checkpoint.
+        self._clean_epoch = None
         return segment
 
     def segment(self, name: str) -> Segment:
@@ -152,6 +192,7 @@ class AddressSpace:
         self.raw_writes += len(data)
         start = address - segment.base
         segment.data[start : start + len(data)] = data
+        segment.mark_dirty(start, len(data))
 
     def read_byte(self, address: int) -> int:
         """Read one raw byte (fast path probing the most recent segment first)."""
@@ -171,7 +212,9 @@ class AddressSpace:
             if segment is None:
                 raise SegmentationFault(address)
         self.raw_writes += 1
-        segment.data[address - segment.base] = value & 0xFF
+        offset = address - segment.base
+        segment.data[offset] = value & 0xFF
+        segment.dirty.add(offset >> _DIRTY_SHIFT)
 
     def find_byte(self, address: int, value: int, length: int,
                   charge_reads: bool = True) -> int:
@@ -206,3 +249,63 @@ class AddressSpace:
     def snapshot(self, address: int, length: int) -> bytes:
         """Alias of :meth:`read` used by tests to express intent (no checks)."""
         return self.read(address, length)
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def checkpoint(self) -> AddressSpaceCheckpoint:
+        """Snapshot every segment's contents plus the raw-access counters.
+
+        Taking a checkpoint resets the dirty tracking, so a later
+        :meth:`restore` of *this* checkpoint only copies back the blocks
+        written in between (the O(dirty-bytes) restart path).
+        """
+        epoch = next(_checkpoint_epochs)
+        for segment in self._ordered:
+            segment.dirty.clear()
+        self._clean_epoch = epoch
+        return AddressSpaceCheckpoint(
+            epoch=epoch,
+            segments=tuple(
+                (segment.name, segment.base, bytes(segment.data))
+                for segment in self._ordered
+            ),
+            raw_reads=self.raw_reads,
+            raw_writes=self.raw_writes,
+        )
+
+    def restore(self, cp: AddressSpaceCheckpoint) -> None:
+        """Reset every segment to the checkpointed contents.
+
+        When the space is clean with respect to ``cp`` (the common restart
+        loop: checkpoint once at boot, restore on every death), only the
+        dirty blocks are copied.  Any other space with the same segment
+        layout takes a full copy — and is clean with respect to ``cp``
+        afterwards, so cloned process images get the fast path on *their*
+        subsequent restores too.  Segments mapped after the checkpoint are
+        unmapped; a checkpointed segment whose size changed is a substrate
+        bug and raises.
+        """
+        fast = self._clean_epoch == cp.epoch
+        wanted = {name for name, _base, _data in cp.segments}
+        if not fast and any(segment.name not in wanted for segment in self._ordered):
+            self._ordered = [s for s in self._ordered if s.name in wanted]
+            self._segments = {s.name: s for s in self._ordered}
+        for name, base, contents in cp.segments:
+            segment = self._segments.get(name)
+            if segment is None or segment.base != base or segment.size != len(contents):
+                raise ValueError(
+                    f"cannot restore checkpoint: segment {name!r} layout changed"
+                )
+            if fast:
+                data = segment.data
+                for block in segment.dirty:
+                    start = block << _DIRTY_SHIFT
+                    end = start + DIRTY_BLOCK
+                    data[start:end] = contents[start:end]
+            else:
+                segment.data[:] = contents
+            segment.dirty.clear()
+        self.raw_reads = cp.raw_reads
+        self.raw_writes = cp.raw_writes
+        self._last_segment = None
+        self._clean_epoch = cp.epoch

@@ -14,7 +14,8 @@ happens.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DoubleFree, HeapCorruption
 from repro.memory.address_space import AddressSpace
@@ -22,6 +23,23 @@ from repro.memory.data_unit import DataUnit, UnitKind, make_unit
 from repro.memory.object_table import ObjectTable
 from repro.telemetry.bus import EventBus
 from repro.telemetry.events import AllocFree
+
+
+@dataclass(frozen=True)
+class HeapAllocatorCheckpoint:
+    """Immutable snapshot of the allocator's bookkeeping.
+
+    The chunk headers themselves live in the heap segment and are restored by
+    the address-space checkpoint; this records the Python-side structures (the
+    break, the free list, which bases are live, and the counters).
+    """
+
+    brk: int
+    free: Tuple[Tuple[int, int], ...]
+    live_bases: Tuple[int, ...]
+    allocations: int
+    frees: int
+    bytes_allocated: int
 
 #: Chunk header layout: magic (4 bytes), user size (4 bytes), in-use flag (4 bytes),
 #: reserved (4 bytes).  16 bytes keeps user data reasonably aligned.
@@ -133,7 +151,8 @@ class HeapAllocator:
         self._write_header(header_addr, user_size, in_use=True)
         user_base = header_addr + HEADER_SIZE
         unit = make_unit(name=name, base=user_base, size=size if size > 0 else user_size,
-                         kind=UnitKind.HEAP, owner="heap")
+                         kind=UnitKind.HEAP, owner="heap",
+                         serial=self.table.next_serial())
         self.table.register(unit)
         self._live[user_base] = unit
         self.allocations += 1
@@ -222,3 +241,30 @@ class HeapAllocator:
         for header_addr, _total in self._free:
             self._check_header(header_addr, context="heap walk")
         self._check_top_header(context="heap walk")
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def checkpoint(self) -> HeapAllocatorCheckpoint:
+        """Snapshot the break, free list, live bases, and counters."""
+        return HeapAllocatorCheckpoint(
+            brk=self._brk,
+            free=tuple(self._free),
+            live_bases=tuple(self._live),
+            allocations=self.allocations,
+            frees=self.frees,
+            bytes_allocated=self.bytes_allocated,
+        )
+
+    def restore(self, cp: HeapAllocatorCheckpoint, units_by_base: Dict[int, DataUnit]) -> None:
+        """Rebuild the bookkeeping from a checkpoint.
+
+        ``units_by_base`` is the live-unit mapping returned by the object
+        table's restore, so the allocator references the same rebuilt unit
+        objects the table holds.
+        """
+        self._brk = cp.brk
+        self._free = [tuple(entry) for entry in cp.free]
+        self._live = {base: units_by_base[base] for base in cp.live_bases}
+        self.allocations = cp.allocations
+        self.frees = cp.frees
+        self.bytes_allocated = cp.bytes_allocated

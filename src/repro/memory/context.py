@@ -11,17 +11,41 @@ with a different compiler — nothing else about the program changes.
 from __future__ import annotations
 
 import contextlib
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.core.policy import AccessPolicy
 from repro.core.policies import FailureObliviousPolicy
 from repro.memory.accessor import MemoryAccessor
-from repro.memory.address_space import AddressSpace
-from repro.memory.allocator import HeapAllocator
+from repro.memory.address_space import AddressSpace, AddressSpaceCheckpoint
+from repro.memory.allocator import HeapAllocator, HeapAllocatorCheckpoint
 from repro.memory.cstring import read_c_string, write_c_string
-from repro.memory.object_table import ObjectTable
+from repro.memory.object_table import ObjectTable, ObjectTableCheckpoint
 from repro.memory.pointer import FatPointer
-from repro.memory.stack import CallStack, StackFrame
+from repro.memory.stack import CallStack, CallStackCheckpoint, StackFrame
+
+
+@dataclass(frozen=True)
+class MemoryImage:
+    """A complete, pure-data checkpoint of one simulated process image.
+
+    Composes the per-component checkpoints (address space bytes, object
+    table, allocator, call stack) with the accessor's attribution labels and
+    the policy's side state (statistics, error log, manufactured-value
+    generators, boundless store).  Because no live object is referenced, one
+    image can be restored into its own context any number of times *and*
+    into other compatible contexts — which is how the pre-fork child pool
+    clones workers from a single template boot.
+    """
+
+    policy_name: str
+    space: AddressSpaceCheckpoint
+    table: ObjectTableCheckpoint
+    heap: HeapAllocatorCheckpoint
+    stack: CallStackCheckpoint
+    site: str
+    request_id: Optional[int]
+    policy_state: dict
 
 
 class MemoryContext:
@@ -135,3 +159,46 @@ class MemoryContext:
     def check_cost(self) -> int:
         """Number of bounds checks executed so far (the overhead measure)."""
         return self.policy.stats.checks_performed
+
+    # -- checkpoint / restore --------------------------------------------------------
+
+    def checkpoint(self) -> MemoryImage:
+        """Capture the whole process image as pure data.
+
+        The server lifecycle calls this once after boot; every subsequent
+        restart is then a :meth:`restore` instead of a rebuild-and-reboot.
+        """
+        return MemoryImage(
+            policy_name=self.policy.name,
+            space=self.space.checkpoint(),
+            table=self.table.checkpoint(),
+            heap=self.heap.checkpoint(),
+            stack=self.stack.checkpoint(),
+            site=self.mem.current_site,
+            request_id=self.mem.current_request_id,
+            policy_state=self.policy.checkpoint_state(),
+        )
+
+    def restore(self, image: MemoryImage) -> None:
+        """Reset the process image to a checkpoint.
+
+        Restores segment bytes (O(dirty blocks) when this context took the
+        checkpoint), rebuilds the object table / allocator / stack against
+        one shared set of fresh units, and resets the policy's side state.
+        The context keeps its identity — policy, bus, attached sinks, and
+        death-hook wiring stay in place — so external observers keep
+        observing the same process slot across restarts.
+        """
+        if image.policy_name != self.policy.name:
+            raise ValueError(
+                f"cannot restore a {image.policy_name!r} image into a "
+                f"{self.policy.name!r} context"
+            )
+        units_by_base = self.table.restore(image.table)
+        self.space.restore(image.space)
+        self.heap.restore(image.heap, units_by_base)
+        self.stack.restore(image.stack, units_by_base)
+        self.mem.set_site(image.site)
+        self.mem.set_request(image.request_id)
+        self.bus.current_request_id = image.request_id
+        self.policy.restore_state(image.policy_state)

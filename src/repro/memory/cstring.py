@@ -18,17 +18,17 @@ Past the span boundary — where accesses become invalid — the continuation is
 left its unit hands the whole out-of-bounds suffix to the policy as a single
 run (the attack-flood shape: one ``on_invalid_write_run`` per source span
 instead of one decision per byte), and terminator scans continue through
-invalid runs via the policy's scan hook when the policy generates its own
-bytes (failure-oblivious, boundless).  Both are observably identical to the
-byte-at-a-time loops they replace — error-log queries, manufactured-value
-consumption, boundless stores, memory images — as proven by the equivalence
-suite; only the policy's ``checks_performed`` counter sees one check per
-span/run rather than per byte.
+invalid runs via the policy's scan hook — failure-oblivious and boundless
+generate their own bytes, while redirect (whose bytes live in the unit)
+batches through the accessor's preview/commit scan protocol.  All are
+observably identical to the byte-at-a-time loops they replace — error-log
+queries, manufactured-value consumption, boundless stores, memory images —
+as proven by the equivalence suite; only the policy's ``checks_performed``
+counter sees one check per span/run rather than per byte.
 
 The byte loop survives where per-byte semantics are genuinely load-bearing:
-policies without run hooks, overlapping copies within one unit (redirected
-writes could alias the bytes still being read), and content-terminated scans
-whose bytes the policy cannot generate (redirect reads from live memory).
+policies without run hooks, and overlapping copies within one unit
+(redirected writes could alias the bytes still being read).
 
 Overlapping copies are chunked to the pointer distance so the forward
 byte-copy propagation of the C originals is preserved exactly.

@@ -92,6 +92,16 @@ def make_unit(
     size: int,
     kind: UnitKind,
     owner: str = "",
+    serial: Optional[int] = None,
 ) -> DataUnit:
-    """Create a data unit (thin helper that keeps call sites short)."""
-    return DataUnit(name=name, base=base, size=size, kind=kind, owner=owner)
+    """Create a data unit (thin helper that keeps call sites short).
+
+    ``serial`` overrides the global allocation counter.  The allocator and
+    call stack pass serials drawn from their object table so that unit labels
+    are deterministic per process image — which is what lets a checkpoint
+    restore reproduce the exact labels a from-scratch reboot would produce.
+    """
+    if serial is None:
+        return DataUnit(name=name, base=base, size=size, kind=kind, owner=owner)
+    return DataUnit(name=name, base=base, size=size, kind=kind, owner=owner,
+                    serial=serial)

@@ -9,9 +9,50 @@ map with O(log n) lookup.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.memory.data_unit import DataUnit
+from repro.memory.data_unit import DataUnit, UnitKind, make_unit
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """Pure-data image of one :class:`~repro.memory.data_unit.DataUnit`.
+
+    Checkpoints store records, not unit objects, so a checkpoint shares no
+    mutable state with the live table: restoring (or cloning into another
+    process image) rebuilds fresh units with identical fields — including the
+    serial, which is deterministic per table (see :meth:`ObjectTable.next_serial`).
+    """
+
+    name: str
+    base: int
+    size: int
+    kind: UnitKind
+    owner: str
+    serial: int
+    alive: bool
+
+    @classmethod
+    def of(cls, unit: DataUnit) -> "UnitRecord":
+        return cls(name=unit.name, base=unit.base, size=unit.size, kind=unit.kind,
+                   owner=unit.owner, serial=unit.serial, alive=unit.alive)
+
+    def build(self) -> DataUnit:
+        unit = make_unit(name=self.name, base=self.base, size=self.size,
+                         kind=self.kind, owner=self.owner, serial=self.serial)
+        unit.alive = self.alive
+        return unit
+
+
+@dataclass(frozen=True)
+class ObjectTableCheckpoint:
+    """Immutable snapshot of the live units, the retired ring, and counters."""
+
+    live: Tuple[UnitRecord, ...]
+    retired: Tuple[UnitRecord, ...]
+    lookups: int
+    next_serial: int
 
 
 class ObjectTable:
@@ -33,10 +74,23 @@ class ObjectTable:
         #: policies holding per-unit side state, e.g. the boundless store.
         self._death_hooks: List[Callable[[DataUnit], None]] = []
         self.lookups = 0
+        self._serial_counter = 1
 
     def add_death_hook(self, hook: Callable[[DataUnit], None]) -> None:
         """Call ``hook(unit)`` every time a unit is unregistered."""
         self._death_hooks.append(hook)
+
+    def next_serial(self) -> int:
+        """Hand out the next per-table unit serial.
+
+        The allocator and call stack draw serials here rather than from the
+        module-global counter, so a process image that boots deterministically
+        labels its units deterministically — two fresh boots (or a checkpoint
+        restore and a from-scratch reboot) produce identical unit labels.
+        """
+        serial = self._serial_counter
+        self._serial_counter += 1
+        return serial
 
     def __len__(self) -> int:
         return len(self._units)
@@ -119,3 +173,31 @@ class ObjectTable:
         prev_unit = self._units[index - 1] if index > 0 else None
         next_unit = self._units[index + 1] if index + 1 < len(self._units) else None
         return prev_unit, next_unit
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def checkpoint(self) -> ObjectTableCheckpoint:
+        """Snapshot the live units, the retired ring, and the counters."""
+        return ObjectTableCheckpoint(
+            live=tuple(UnitRecord.of(unit) for unit in self._units),
+            retired=tuple(UnitRecord.of(unit) for unit in self._retired),
+            lookups=self.lookups,
+            next_serial=self._serial_counter,
+        )
+
+    def restore(self, cp: ObjectTableCheckpoint) -> Dict[int, DataUnit]:
+        """Rebuild the table from a checkpoint, returning live units by base.
+
+        Fresh :class:`DataUnit` objects are constructed (a from-scratch reboot
+        would construct fresh objects too); units registered after the
+        checkpoint simply drop out, and death hooks do *not* fire — an image
+        swap is not a program-visible unit death.  The returned mapping lets
+        the allocator and call stack rewire their own references to the same
+        rebuilt objects.
+        """
+        self._units = [record.build() for record in cp.live]
+        self._bases = [unit.base for unit in self._units]
+        self._retired = [record.build() for record in cp.retired]
+        self.lookups = cp.lookups
+        self._serial_counter = cp.next_serial
+        return {unit.base: unit for unit in self._units}

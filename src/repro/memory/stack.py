@@ -25,12 +25,35 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ControlFlowHijack, SegmentationFault
 from repro.memory.address_space import AddressSpace
 from repro.memory.data_unit import DataUnit, UnitKind, make_unit
 from repro.memory.object_table import ObjectTable
+
+
+@dataclass(frozen=True)
+class FrameCheckpoint:
+    """Pure-data image of one stack frame (locals referenced by base address)."""
+
+    function: str
+    base: int
+    return_slot_addr: int
+    saved_return_value: int
+    cursor: int
+    local_bases: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CallStackCheckpoint:
+    """Immutable snapshot of the frame list and counters."""
+
+    top: int
+    frames: Tuple[FrameCheckpoint, ...]
+    frame_counter: int
+    pushes: int
+    pops: int
 
 #: Size of the saved return address slot at the top of each frame.
 RETURN_SLOT_SIZE = 8
@@ -117,7 +140,7 @@ class CallStack:
         if base + size > self._stack_end:
             raise SegmentationFault(base, "stack overflow (out of simulated stack)")
         unit = make_unit(name=name, base=base, size=size, kind=UnitKind.STACK,
-                         owner=frame.function)
+                         owner=frame.function, serial=self.table.next_serial())
         self.table.register(unit)
         frame.locals.append(unit)
         frame.cursor = base + size
@@ -190,3 +213,49 @@ class CallStack:
         raw = self.space.read(frame.return_slot_addr, RETURN_SLOT_SIZE)
         (value,) = _RETURN_STRUCT.unpack(raw)
         return value == frame.saved_return_value
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def checkpoint(self) -> CallStackCheckpoint:
+        """Snapshot the live frames (locals by base address) and counters."""
+        return CallStackCheckpoint(
+            top=self._top,
+            frames=tuple(
+                FrameCheckpoint(
+                    function=frame.function,
+                    base=frame.base,
+                    return_slot_addr=frame.return_slot_addr,
+                    saved_return_value=frame.saved_return_value,
+                    cursor=frame.cursor,
+                    local_bases=tuple(unit.base for unit in frame.locals),
+                )
+                for frame in self._frames
+            ),
+            frame_counter=self._frame_counter,
+            pushes=self.pushes,
+            pops=self.pops,
+        )
+
+    def restore(self, cp: CallStackCheckpoint, units_by_base: Dict[int, DataUnit]) -> None:
+        """Rebuild the frame list from a checkpoint.
+
+        ``units_by_base`` maps live-unit bases to the objects rebuilt by the
+        object table's restore, so frames and table agree on identity.  The
+        frame counter is restored too: the synthetic return addresses sealed
+        into post-restore frames match a from-scratch reboot's exactly.
+        """
+        self._frames = [
+            StackFrame(
+                function=frame.function,
+                base=frame.base,
+                return_slot_addr=frame.return_slot_addr,
+                saved_return_value=frame.saved_return_value,
+                cursor=frame.cursor,
+                locals=[units_by_base[base] for base in frame.local_bases],
+            )
+            for frame in cp.frames
+        ]
+        self._top = cp.top
+        self._frame_counter = cp.frame_counter
+        self.pushes = cp.pushes
+        self.pops = cp.pops

@@ -12,11 +12,12 @@ file ``repro trace`` consumes.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
 import tempfile
-from typing import Dict, IO, List, Mapping, Optional
+from typing import Dict, IO, Iterator, List, Mapping, Optional
 
 from repro.telemetry.events import to_record
 
@@ -107,6 +108,23 @@ class TelemetrySession:
     def end_scenario(self) -> None:
         """Stop stamping events with the current scenario id."""
         self._scenario_id = None
+
+    @contextlib.contextmanager
+    def scenario_scope(self, scenario_id: int) -> Iterator[int]:
+        """Stamp events with ``scenario_id`` for the duration of the block,
+        then restore the previous stamp.
+
+        Unlike :meth:`begin_scenario`/:meth:`end_scenario` (which clear the
+        stamp), this nests: sub-scopes inside an engine-managed scenario — the
+        soak workload stamping each shard with its index — leave the outer
+        scenario's stamp intact for the events that follow.
+        """
+        previous = self._scenario_id
+        self._scenario_id = scenario_id
+        try:
+            yield scenario_id
+        finally:
+            self._scenario_id = previous
 
     # -- writing -----------------------------------------------------------------
 

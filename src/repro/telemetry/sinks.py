@@ -121,6 +121,30 @@ class CounterSink(Sink):
         """
         self._reset_fields()
 
+    #: The aggregate fields snapshotted by checkpoint/restore — the same set
+    #: _reset_fields initializes, kept explicit so subclass extras are not
+    #: silently captured (subclasses override the pair if they need more).
+    _CHECKPOINT_FIELDS = (
+        "by_type", "invalid_total", "invalid_by_site", "invalid_by_kind",
+        "invalid_by_access", "manufactured_bytes", "discarded_bytes",
+        "stored_bytes", "redirected_accesses", "allocations", "frees",
+        "requests_by_outcome",
+    )
+
+    def checkpoint(self) -> dict:
+        """Snapshot every aggregate (Counters are copied, scalars as-is)."""
+        cp = {}
+        for name in self._CHECKPOINT_FIELDS:
+            value = getattr(self, name)
+            cp[name] = Counter(value) if isinstance(value, Counter) else value
+        return cp
+
+    def restore(self, cp: dict) -> None:
+        """Reset the aggregates to a snapshot taken by :meth:`checkpoint`."""
+        for name in self._CHECKPOINT_FIELDS:
+            value = cp[name]
+            setattr(self, name, Counter(value) if isinstance(value, Counter) else value)
+
     def __eq__(self, other: object) -> bool:
         """Value equality: two counter sinks with identical tallies are equal.
 
@@ -258,6 +282,17 @@ class CoalescingRingSink(Sink):
         self._runs.clear()
         self._retained = 0
         self._dropped = 0
+
+    def checkpoint(self) -> tuple:
+        """Snapshot the retained runs (events are frozen, so runs are shared)."""
+        return (tuple(tuple(run) for run in self._runs), self._retained, self._dropped)
+
+    def restore(self, cp: tuple) -> None:
+        """Reset the ring to a snapshot taken by :meth:`checkpoint`."""
+        runs, retained, dropped = cp
+        self._runs = deque(list(run) for run in runs)
+        self._retained = retained
+        self._dropped = dropped
 
     # -- queries -----------------------------------------------------------------
 

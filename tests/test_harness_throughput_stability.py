@@ -107,6 +107,9 @@ class FragileServer(Server):
     """
 
     name = "toy-fragile"
+    # Boot mutates the shared config (the boots counter), so consecutive
+    # boots differ and the image-replay restart model does not apply.
+    checkpoint_restarts = False
 
     def startup(self) -> None:
         boots = self.config.setdefault("boots", [])

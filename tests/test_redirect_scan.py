@@ -1,0 +1,120 @@
+"""The redirect policy's batched terminator scan (preview/commit protocol).
+
+The redirect policy's out-of-bounds reads land *inside the unit* (at
+``offset % size``), so — unlike failure-oblivious and boundless — it cannot
+generate scan bytes itself.  Since the preview/commit protocol it returns a
+REDIRECT preview, the accessor scans the wrapped unit contents, and the
+consumed length is committed back for recording.  These tests pin the edge
+shapes (wraparound, terminator exactly at the wrap point, absent terminator
+tiling, dead units) against the frozen per-byte reference loops; the generic
+Hypothesis equivalence suite covers the random shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import RedirectPolicy
+from repro.errors import InfiniteLoopGuard
+from repro.memory import cstring
+from repro.memory.context import MemoryContext
+from tests.reference_cstring import ref_read_c_string, ref_strlen
+
+
+def _twin_contexts():
+    return MemoryContext(RedirectPolicy()), MemoryContext(RedirectPolicy())
+
+
+def _observe(ctx):
+    log = ctx.error_log
+    stats = ctx.policy.stats.as_dict()
+    stats.pop("checks_performed")  # one check per run vs per byte, documented
+    return {
+        "heap": bytes(ctx.space.heap.data),
+        "raw_reads": ctx.space.raw_reads,
+        "stats": stats,
+        "log_total": log.total_recorded,
+        "log_by_site": log.count_by_site(),
+        "log_by_kind": log.count_by_kind(),
+        "events": [
+            (e.kind, e.access, e.unit_name, e.unit_size, e.offset, e.length, e.site)
+            for e in log.events()
+        ],
+        "sequence_produced": ctx.policy.sequence.produced,
+    }
+
+
+def _prepare(ctx, content: bytes):
+    """One unit holding ``content`` followed by a scan pointer past its end."""
+    unit = ctx.malloc(len(content), name="target")
+    ctx.mem.write(unit, content)
+    return unit
+
+
+@pytest.mark.parametrize("content,start_offset", [
+    (b"AB\x00DEFGH", 8),     # hit before the wrap point
+    (b"ABCDEFG\x00", 12),    # scan starts mid-unit-image, wraps to find NUL
+    (b"\x00BCDEFGH", 15),    # hit exactly at the wrap boundary
+])
+def test_oob_strlen_matches_per_byte_reference(content, start_offset):
+    fast_ctx, ref_ctx = _twin_contexts()
+    fast_unit = _prepare(fast_ctx, content)
+    ref_unit = _prepare(ref_ctx, content)
+    fast = cstring.strlen(fast_ctx.mem, fast_unit + start_offset)
+    ref = ref_strlen(ref_ctx.mem, ref_unit + start_offset)
+    assert fast == ref
+    assert _observe(fast_ctx) == _observe(ref_ctx)
+
+
+def test_absent_terminator_spins_exactly_like_the_byte_loop():
+    """No NUL anywhere in the wrapped unit: both paths examine the same
+    number of bytes, record the same events, and hit the loop guard."""
+    fast_ctx, ref_ctx = _twin_contexts()
+    content = b"ABCDEFGH"  # no NUL: the wrapped scan can never terminate
+    fast_unit = _prepare(fast_ctx, content)
+    ref_unit = _prepare(ref_ctx, content)
+    limit = 1000
+    with pytest.raises(InfiniteLoopGuard):
+        cstring.strlen(fast_ctx.mem, fast_unit + 8, limit=limit)
+    with pytest.raises(InfiniteLoopGuard):
+        ref_strlen(ref_ctx.mem, ref_unit + 8, limit=limit)
+    assert _observe(fast_ctx) == _observe(ref_ctx)
+
+
+def test_dead_unit_scan_manufactures_like_per_byte():
+    """UAF scans fall back to manufactured bytes; consumption must match."""
+    fast_ctx, ref_ctx = _twin_contexts()
+    results = []
+    for ctx in (fast_ctx, ref_ctx):
+        unit = ctx.malloc(8, name="dead")
+        ctx.mem.write(unit, b"ABCDEFG\x00")
+        ctx.free(unit)
+        results.append((ctx, unit))
+    fast = cstring.read_c_string(fast_ctx.mem, results[0][1])
+    ref = ref_read_c_string(ref_ctx.mem, results[1][1])
+    assert fast == ref
+    assert _observe(fast_ctx) == _observe(ref_ctx)
+
+
+def test_negative_offset_reenters_bounds_like_per_byte():
+    """A pointer below its unit: the invalid run ends at offset 0 and the
+    scan continues in bounds — per-byte and batched agree."""
+    fast_ctx, ref_ctx = _twin_contexts()
+    fast_unit = _prepare(fast_ctx, b"XY\x00AAAAA")
+    ref_unit = _prepare(ref_ctx, b"XY\x00AAAAA")
+    fast = cstring.strlen(fast_ctx.mem, fast_unit + (-3))
+    ref = ref_strlen(ref_ctx.mem, ref_unit + (-3))
+    assert fast == ref
+    assert _observe(fast_ctx) == _observe(ref_ctx)
+
+
+def test_commit_records_one_run_not_per_byte_objects():
+    """The batched scan stores its error events as one coalesced run."""
+    ctx = MemoryContext(RedirectPolicy())
+    unit = _prepare(ctx, b"ABCDEFG\x00")
+    cstring.strlen(ctx.mem, unit + 8)
+    log = ctx.error_log
+    # 8 per-byte events retained (offsets 8..15), stored as a handful of runs.
+    assert log.total_recorded == 8
+    assert log._ring.run_count <= 2
+    assert ctx.policy.stats.redirected_accesses == 8

@@ -129,6 +129,52 @@ class TestLifecycle:
         assert "failure-oblivious" in server.describe()
 
 
+class TestHistoryBounding:
+    """Regression for the soak memory leak: history grew one RequestResult
+    per request forever; it is now a deque, cappable for long runs."""
+
+    def test_unbounded_by_default(self):
+        server = EchoServer(FailureObliviousPolicy)
+        server.start()
+        for _ in range(10):
+            server.process(Request(kind="echo"))
+        assert len(server.history) == 10
+        assert server.history.maxlen is None
+
+    def test_constructor_limit_caps_history(self):
+        server = EchoServer(FailureObliviousPolicy, history_limit=4)
+        server.start()
+        for index in range(10):
+            server.process(Request(kind="echo", payload={"data": bytes([index])}))
+        assert len(server.history) == 4
+        # The newest results are the ones retained.
+        assert [result.response.body for result in server.history] == [
+            bytes([6]), bytes([7]), bytes([8]), bytes([9])
+        ]
+        assert server.requests_processed == 10  # counters keep counting
+
+    def test_limit_history_preserves_newest_tail(self):
+        server = EchoServer(FailureObliviousPolicy)
+        server.start()
+        for index in range(6):
+            server.process(Request(kind="echo", payload={"data": bytes([index])}))
+        server.limit_history(2)
+        assert [result.response.body for result in server.history] == [
+            bytes([4]), bytes([5])
+        ]
+        server.limit_history(None)
+        server.process(Request(kind="echo"))
+        assert len(server.history) == 3
+
+    def test_history_survives_checkpoint_restart(self):
+        server = EchoServer(FailureObliviousPolicy, history_limit=8)
+        server.start()
+        server.process(Request(kind="echo"))
+        server.restart()
+        # History is server-lifetime bookkeeping, not process-image state.
+        assert len(server.history) == 1
+
+
 class TestRequestResponse:
     def test_request_ids_unique(self):
         a = Request(kind="x")
