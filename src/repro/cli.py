@@ -20,11 +20,24 @@ Run the documented attack against one server under one build::
 
     python -m repro attack mutt --policy failure-oblivious
 
-Export a run's telemetry stream as JSONL and query it offline::
+Export a run's telemetry stream as JSONL and query it offline (``summary``
+and ``filter`` accept SQLite exports from ``repro fleet run`` too — the
+format is sniffed)::
 
     python -m repro trace export tab-security --out matrix.jsonl --workers 4
     python -m repro trace summary matrix.jsonl --server pine
     python -m repro trace filter matrix.jsonl --site quote --out pine-quote.jsonl
+    python -m repro trace summary fleet.sqlite --policy failure-oblivious
+
+Soak a whole fleet — many server instances (any mix of profiles x builds)
+cloned from checkpoint images under seeded arrival processes — and rebuild
+the per-instance availability table from the streamed SQLite telemetry
+(``repro fleet`` is the scale path; the single-server ``exp-soak`` shards
+just one server's stream)::
+
+    python -m repro fleet run -i apache:failure-oblivious:4 -i pine:bounds-check \\
+        --requests 100000 --workers 8 --sqlite-out fleet.sqlite
+    python -m repro fleet report fleet.sqlite
 """
 
 from __future__ import annotations
@@ -36,12 +49,15 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.core.policies import POLICY_NAMES
+from repro.fleet.scheduler import InstanceSpec, run_fleet
+from repro.fleet.report import fleet_report_from_trace, format_fleet_table
+from repro.fleet.traffic import ARRIVALS
 from repro.harness.engine import ENGINE, ScenarioSpec
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import format_trace_summary
 from repro.servers.profile import iter_profiles
 from repro.telemetry.session import TelemetrySession
-from repro.telemetry.summary import filter_records, iter_records, summarize_jsonl
+from repro.telemetry.summary import filter_records, iter_trace_records, summarize_trace
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,8 +113,68 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="process count for experiments that fan out; "
                                     "per-worker spill files are merged in spec order")
 
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="soak a heterogeneous fleet of server instances"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run_parser = fleet_sub.add_parser(
+        "run", help="run a seeded multi-instance fleet soak"
+    )
+    fleet_run_parser.add_argument(
+        "--instance", "-i", action="append", default=None,
+        metavar="SERVER:POLICY[:COUNT]",
+        help="add COUNT instances of SERVER under POLICY (repeatable); "
+             "default: every profile under failure-oblivious plus an "
+             "apache bounds-check instance",
+    )
+    fleet_run_parser.add_argument("--requests", type=int, default=2000,
+                                  help="total requests across the fleet")
+    fleet_run_parser.add_argument("--attack-every", type=int, default=10,
+                                  help="inject each instance's documented attack "
+                                       "every N requests (0 disables)")
+    fleet_run_parser.add_argument("--arrival", choices=sorted(ARRIVALS),
+                                  default="poisson",
+                                  help="arrival process for every instance")
+    fleet_run_parser.add_argument("--rate", type=float, default=100.0,
+                                  help="per-instance arrival rate "
+                                       "(requests/virtual-second)")
+    fleet_run_parser.add_argument("--seed", type=int, default=20040101,
+                                  help="root seed; fleets are bit-reproducible "
+                                       "in (seed, spec) regardless of --workers")
+    fleet_run_parser.add_argument("--workers", type=int, default=None,
+                                  help="fork-pool processes (default: serial, "
+                                       "same tallies)")
+    fleet_run_parser.add_argument("--shards", type=int, default=None,
+                                  help="instance groups to schedule (default: "
+                                       "one shard per instance)")
+    fleet_run_parser.add_argument("--scale", type=float, default=0.25,
+                                  help="workload scale factor")
+    fleet_run_parser.add_argument("--history-limit", type=int, default=256,
+                                  help="per-instance request-history bound")
+    fleet_run_parser.add_argument("--unbounded-history", action="store_true",
+                                  help="explicitly allow an unbounded "
+                                       "per-request history (refused otherwise)")
+    fleet_run_parser.add_argument("--sqlite-out", default=None,
+                                  help="stream telemetry to this SQLite database "
+                                       "(readable by `repro fleet report` and "
+                                       "`repro trace summary`)")
+    fleet_run_parser.add_argument("--stats-every", type=int, default=10_000,
+                                  help="requests between live stats snapshots")
+    fleet_run_parser.add_argument("--max-seconds", type=float, default=None,
+                                  help="wall-clock budget; remaining requests "
+                                       "are dropped once exceeded")
+
+    fleet_report_parser = fleet_sub.add_parser(
+        "report", help="rebuild the per-instance table from an exported trace"
+    )
+    fleet_report_parser.add_argument(
+        "file", help="SQLite (or JSONL) trace from a fleet run"
+    )
+
     def add_trace_filters(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument("file", help="JSONL trace produced by `repro trace export`")
+        parser.add_argument("file", help="trace produced by `repro trace export` "
+                                         "(JSONL) or `repro fleet run` (SQLite)")
         parser.add_argument("--server", default=None, help="only events from this server")
         parser.add_argument("--policy", default=None, help="only events from this build")
         parser.add_argument("--site", default=None,
@@ -190,6 +266,91 @@ def _command_attack(args: argparse.Namespace) -> int:
     return 0 if scenario.continued_service or args.policy != "failure-oblivious" else 1
 
 
+#: The default fleet: every registered profile under the paper's build, plus
+#: one Bounds Check instance as the availability contrast.
+_DEFAULT_FLEET = (
+    "apache:failure-oblivious:2",
+    "pine:failure-oblivious",
+    "sendmail:failure-oblivious",
+    "midnight-commander:failure-oblivious",
+    "mutt:failure-oblivious",
+    "apache:bounds-check",
+)
+
+
+def parse_instance_spec(text: str, attack_every: int, arrival: str,
+                        rate: float) -> InstanceSpec:
+    """Parse one ``SERVER:POLICY[:COUNT]`` CLI spec line."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"bad instance spec {text!r}: expected SERVER:POLICY[:COUNT]"
+        )
+    count = 1
+    if len(parts) == 3:
+        try:
+            count = int(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"bad instance spec {text!r}: COUNT must be an integer"
+            ) from None
+    return InstanceSpec(
+        server=parts[0], policy=parts[1], count=count,
+        attack_every=attack_every, arrival=arrival, rate=rate,
+    )
+
+
+def _command_fleet_run(args: argparse.Namespace) -> int:
+    spec_texts = args.instance if args.instance else list(_DEFAULT_FLEET)
+    try:
+        specs = [
+            parse_instance_spec(text, args.attack_every, args.arrival, args.rate)
+            for text in spec_texts
+        ]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    history_limit = None if args.unbounded_history else args.history_limit
+    result = run_fleet(
+        specs,
+        total_requests=args.requests,
+        seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        scale=args.scale,
+        history_limit=history_limit,
+        allow_unbounded_history=args.unbounded_history,
+        sqlite_path=args.sqlite_out,
+        stats_every=args.stats_every,
+        max_seconds=args.max_seconds,
+    )
+    print(format_fleet_table(result))
+    if result.stats.snapshots:
+        print(f"stats: {len(result.stats.snapshots)} snapshot(s), "
+              f"{result.stats.requests_seen} requests / "
+              f"{result.stats.events_seen} events seen")
+    return 0
+
+
+def _command_fleet_report(args: argparse.Namespace) -> int:
+    tallies = fleet_report_from_trace(args.file)
+    if not tallies:
+        print(f"no instance-scoped events found in {args.file}", file=sys.stderr)
+        return 1
+    print(format_fleet_table(
+        tallies, title=f"Fleet report: {args.file} (from export)"
+    ))
+    return 0
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "run":
+        return _command_fleet_run(args)
+    if args.fleet_command == "report":
+        return _command_fleet_report(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _command_trace_export(args: argparse.Namespace) -> int:
     kwargs = _experiment_kwargs(args)
     session = TelemetrySession()
@@ -201,12 +362,12 @@ def _command_trace_export(args: argparse.Namespace) -> int:
         session.cleanup()
     print(f"exported {written} event(s) to {args.out}")
     print()
-    print(format_trace_summary(summarize_jsonl(args.out)))
+    print(format_trace_summary(summarize_trace(args.out)))
     return 0
 
 
 def _command_trace_summary(args: argparse.Namespace) -> int:
-    summary = summarize_jsonl(
+    summary = summarize_trace(
         args.file, server=args.server, policy=args.policy,
         site=args.site, kind=args.kind,
     )
@@ -223,7 +384,7 @@ def _command_trace_summary(args: argparse.Namespace) -> int:
 
 def _command_trace_filter(args: argparse.Namespace) -> int:
     records = filter_records(
-        iter_records(args.file), server=args.server, policy=args.policy,
+        iter_trace_records(args.file), server=args.server, policy=args.policy,
         site=args.site, kind=args.kind,
     )
     if args.out == "-":
@@ -260,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "attack":
         return _command_attack(args)
+    if args.command == "fleet":
+        return _command_fleet(args)
     if args.command == "trace":
         return _command_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,124 @@
+"""Fleet reporting: per-instance availability tables, live or from an export.
+
+Two entry points, one semantics:
+
+* :func:`format_fleet_table` renders a live
+  :class:`~repro.fleet.scheduler.FleetResult` (or any list of
+  :class:`~repro.fleet.scheduler.InstanceTally`) as the per-instance
+  availability/error table ``repro fleet run`` prints.
+* :func:`fleet_report_from_trace` re-derives those tallies from an exported
+  trace (SQLite or JSONL — sniffed), by replaying each instance's events
+  through the *same* :class:`~repro.fleet.scheduler.FleetTallySink` the live
+  scheduler attaches.  Because the scheduler also routes drops through the
+  event stream, every stream-derived column matches the live run exactly;
+  only the live-only monitor columns (boot deaths, restarts) read 0 here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.fleet.scheduler import FleetResult, FleetTallySink, InstanceTally
+from repro.harness.report import format_simple_table
+from repro.telemetry.events import RequestEnd, from_record
+from repro.telemetry.summary import iter_trace_records
+
+
+def fleet_report_from_trace(path: str) -> List[InstanceTally]:
+    """Rebuild per-instance tallies from an exported fleet trace.
+
+    Records are grouped by their ``scenario`` stamp (the scheduler uses the
+    instance index as the scenario id) and each group's events replay through
+    a fresh :class:`~repro.fleet.scheduler.FleetTallySink`.  Unscoped records
+    (scenario ``None`` — e.g. engine-level bookkeeping) are ignored.
+    """
+    sinks: Dict[int, FleetTallySink] = {}
+    tallies: Dict[int, InstanceTally] = {}
+    for record in iter_trace_records(path):
+        scenario = record.get("scenario")
+        if not isinstance(scenario, int):
+            continue
+        try:
+            event = from_record(record)
+        except (ValueError, KeyError, TypeError):
+            continue
+        if scenario not in sinks:
+            scope = record.get("scope") or {}
+            sinks[scenario] = FleetTallySink()
+            tallies[scenario] = InstanceTally(
+                index=scenario,
+                server=str(scope.get("server", "?")),
+                policy=str(scope.get("policy", "?")),
+            )
+        sinks[scenario].emit(event)
+        if isinstance(event, RequestEnd) and event.kind != "__startup__":
+            tallies[scenario].requests += 1
+            if event.is_attack:
+                tallies[scenario].attack_requests += 1
+    for scenario, sink in sinks.items():
+        tally = tallies[scenario]
+        tally.legitimate_served = sink.legitimate_served
+        tally.legitimate_failed = sink.legitimate_failed + sink.legitimate_dropped
+        tally.dropped = sink.legitimate_dropped + sink.attacks_dropped
+        tally.attacks_survived = sink.attacks_survived
+        tally.server_deaths = sink.server_deaths
+        tally.memory_errors_logged = sink.memory_errors
+        tally.error_sites = dict(sink.error_sites)
+    return [tallies[scenario] for scenario in sorted(tallies)]
+
+
+def _rows(tallies: Iterable[InstanceTally]) -> List[Sequence[object]]:
+    return [
+        (
+            tally.index,
+            tally.server,
+            tally.policy,
+            tally.requests,
+            tally.legitimate_served,
+            tally.legitimate_failed,
+            tally.dropped,
+            tally.attacks_survived,
+            tally.server_deaths,
+            tally.restarts,
+            tally.memory_errors_logged,
+            f"{tally.availability:.4f}",
+        )
+        for tally in tallies
+    ]
+
+
+_HEADERS = (
+    "inst", "server", "policy", "requests", "served", "failed", "dropped",
+    "survived", "deaths", "restarts", "errors", "availability",
+)
+
+
+def format_fleet_table(
+    result: Union[FleetResult, Sequence[InstanceTally]],
+    title: str = "Fleet soak: per-instance availability",
+) -> str:
+    """The per-instance availability/error table (live result or tally list)."""
+    if isinstance(result, FleetResult):
+        tallies: Sequence[InstanceTally] = result.instances
+        lines = [format_simple_table(_HEADERS, _rows(tallies), title=title)]
+        lines.append("")
+        lines.append(
+            f"fleet: {result.total_requests} requests "
+            f"({result.attack_requests} attack) over {len(tallies)} instances, "
+            f"{result.shard_count} shards, workers={result.workers}, "
+            f"seed={result.seed}"
+        )
+        lines.append(
+            f"availability {result.availability:.4f}; "
+            f"{result.server_deaths} deaths, {result.restarts} restarts, "
+            f"{result.requests_per_sec:,.0f} req/s over "
+            f"{result.wall_seconds:.2f}s"
+            + ("; DEADLINE HIT (wall-clock budget)" if result.deadline_hit else "")
+        )
+        if result.sqlite_path:
+            lines.append(f"telemetry: {result.sqlite_path} (SQLite)")
+        return "\n".join(lines)
+    return format_simple_table(_HEADERS, _rows(result), title=title)
+
+
+__all__ = ["fleet_report_from_trace", "format_fleet_table"]

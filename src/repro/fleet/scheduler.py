@@ -1,0 +1,707 @@
+"""The fleet scheduler: N cloned server instances under one traffic timeline.
+
+:func:`run_fleet` is the cluster-scale counterpart of
+:func:`~repro.harness.soak.run_soak_experiment`.  Where a soak shards one
+server's stream, a fleet instantiates *many* servers — any mix of the five
+profiles x five policies — and drives them with the
+:class:`~repro.fleet.traffic.TrafficModel` timeline, interleaved by virtual
+arrival time.  The mechanics reuse the PR 5 substrate end to end:
+
+* one **template** is booted per distinct ``(server, policy, config)`` group
+  and its post-boot :class:`~repro.servers.base.ProcessImage` captured; every
+  instance of the group is then cloned via
+  :meth:`~repro.servers.base.Server.adopt_image` (boot cost paid once per
+  group, not per instance);
+* a dead instance is restored O(dirty-bytes) from its image by the monitor,
+  exactly like the soak's in-shard restarts;
+* instances are partitioned into ``shards`` **contiguous groups of
+  instances** and fanned over the same forked pool.  Instances are
+  independent processes, so per-instance tallies cannot observe the
+  partition: shard boundaries depend only on ``shards`` (never ``workers``),
+  the timeline is generated in the parent, and each worker's RNG is seeded
+  from ``(seed, shard index)`` — pooled runs are bit-identical to serial.
+
+Requests that arrive while their instance is down (or after the wall-clock
+budget expires) are **dropped**: the scheduler emits a synthetic
+:class:`~repro.telemetry.events.RequestEnd` with outcome ``"dropped"`` on the
+instance's bus.  That one decision is what makes ``repro fleet report``
+exact — the live tallies and any streaming export (SQLite spills merged in
+shard order, JSONL session spills) see the *same* event stream, so counts
+re-derived from an export equal the live ones by construction.  Only boot
+failures and monitor restarts are live-only bookkeeping (no request exists
+to attribute them to).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.traffic import (
+    FleetRequest,
+    InstanceTraffic,
+    TrafficModel,
+    derive_seed,
+    make_arrival,
+)
+from repro.harness.stability import WorkloadTallySink
+from repro.servers.base import Server, bounded_history_limit
+from repro.telemetry.events import RequestEnd
+from repro.telemetry.session import current_session
+from repro.telemetry.sqlite import SqliteSink, merge_sqlite
+from repro.telemetry.stats import StatsSink
+
+#: Outcome stamped on the synthetic RequestEnd the scheduler emits for a
+#: request that never reached a live server (instance down past restart, or
+#: wall-clock budget exhausted).  Distinct from every RequestOutcome value.
+DROPPED_OUTCOME = "dropped"
+
+#: State inherited by forked shard workers (set immediately before the pool
+#: is created, cleared after; never pickled).
+_POOL_FLEET: Optional["_FleetRun"] = None
+
+
+class FleetTallySink(WorkloadTallySink):
+    """The soak tally semantics, extended with the scheduler's drop events.
+
+    A dropped legitimate request counts as failed service (the soak's
+    ``unserved_while_down`` accounting, now flowing through the event stream
+    instead of a side counter); a dropped attack counts as neither survived
+    nor fatal — the attack never ran.  Because drops are ordinary events,
+    re-feeding an export through this sink reproduces the live tallies.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.legitimate_dropped = 0
+        self.attacks_dropped = 0
+
+    def emit(self, event: object) -> None:
+        if isinstance(event, RequestEnd) and event.outcome == DROPPED_OUTCOME:
+            if event.is_attack:
+                self.attacks_dropped += 1
+            else:
+                self.legitimate_dropped += 1
+            return
+        super().emit(event)
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InstanceSpec:
+    """One line of a fleet spec: ``count`` instances of a (server, policy).
+
+    ``weight`` scales each instance's share of the fleet's total requests;
+    ``arrival``/``rate`` pick its arrival process
+    (:data:`~repro.fleet.traffic.ARRIVALS`); ``attack_every`` mixes the
+    server's documented attack into its benign stream at that period
+    (0 disables attacks).
+    """
+
+    server: str
+    policy: str
+    count: int = 1
+    weight: float = 1.0
+    attack_every: int = 10
+    arrival: str = "poisson"
+    rate: float = 100.0
+    config: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass
+class FleetInstance:
+    """One expanded instance (an InstanceSpec line contributes ``count`` of these)."""
+
+    index: int
+    server: str
+    policy: str
+    weight: float
+    attack_every: int
+    arrival: str
+    rate: float
+    config: Optional[Dict[str, object]] = None
+
+    @property
+    def group_key(self) -> Tuple[str, str, str]:
+        """Instances sharing a key share one booted template image."""
+        config = self.config or {}
+        return (self.server, self.policy, repr(sorted(config.items())))
+
+    @property
+    def label(self) -> str:
+        return f"{self.server}/{self.policy}"
+
+
+def expand_instances(specs: Sequence[InstanceSpec]) -> List[FleetInstance]:
+    """Expand spec lines into concrete instances, indexed in spec order.
+
+    The index doubles as the instance's scenario id in telemetry exports, so
+    spec order is the export order.
+    """
+    if not specs:
+        raise ValueError("a fleet needs at least one InstanceSpec")
+    expanded: List[FleetInstance] = []
+    for spec in specs:
+        for _ in range(spec.count):
+            expanded.append(
+                FleetInstance(
+                    index=len(expanded),
+                    server=spec.server,
+                    policy=spec.policy,
+                    weight=spec.weight,
+                    attack_every=spec.attack_every,
+                    arrival=spec.arrival,
+                    rate=spec.rate,
+                    config=dict(spec.config) if spec.config else None,
+                )
+            )
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Tallies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InstanceTally:
+    """Per-instance counts (the rows of ``repro fleet report``).
+
+    All fields except ``boot_deaths`` and ``restarts`` are derived from the
+    instance's event stream, so an export re-derives them exactly; the two
+    live-only fields track monitor work no request event can carry.
+    """
+
+    index: int
+    server: str
+    policy: str
+    requests: int = 0
+    attack_requests: int = 0
+    legitimate_served: int = 0
+    legitimate_failed: int = 0
+    dropped: int = 0
+    attacks_survived: int = 0
+    server_deaths: int = 0
+    boot_deaths: int = 0
+    restarts: int = 0
+    memory_errors_logged: int = 0
+    error_sites: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def legitimate_requests(self) -> int:
+        return self.requests - self.attack_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of legitimate requests served (1.0 when none arrived)."""
+        if self.legitimate_requests == 0:
+            return 1.0
+        return self.legitimate_served / self.legitimate_requests
+
+    def as_dict(self) -> Dict[str, object]:
+        """Order-independent tally dict (what serial == pooled compares)."""
+        return {
+            "index": self.index,
+            "server": self.server,
+            "policy": self.policy,
+            "requests": self.requests,
+            "attack_requests": self.attack_requests,
+            "legitimate_served": self.legitimate_served,
+            "legitimate_failed": self.legitimate_failed,
+            "dropped": self.dropped,
+            "attacks_survived": self.attacks_survived,
+            "server_deaths": self.server_deaths,
+            "boot_deaths": self.boot_deaths,
+            "restarts": self.restarts,
+            "memory_errors_logged": self.memory_errors_logged,
+            "error_sites": dict(sorted(self.error_sites.items())),
+        }
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run (per-instance tallies in instance order)."""
+
+    instances: List[InstanceTally]
+    shard_count: int
+    workers: int
+    seed: int
+    boot_fatal: Dict[str, bool]
+    wall_seconds: float
+    stats: StatsSink
+    sqlite_path: Optional[str] = None
+    deadline_hit: bool = False
+
+    def _sum(self, field_name: str) -> int:
+        return sum(getattr(tally, field_name) for tally in self.instances)
+
+    @property
+    def total_requests(self) -> int:
+        return self._sum("requests")
+
+    @property
+    def attack_requests(self) -> int:
+        return self._sum("attack_requests")
+
+    @property
+    def legitimate_requests(self) -> int:
+        return self.total_requests - self.attack_requests
+
+    @property
+    def legitimate_served(self) -> int:
+        return self._sum("legitimate_served")
+
+    @property
+    def legitimate_failed(self) -> int:
+        return self._sum("legitimate_failed")
+
+    @property
+    def dropped(self) -> int:
+        return self._sum("dropped")
+
+    @property
+    def attacks_survived(self) -> int:
+        return self._sum("attacks_survived")
+
+    @property
+    def server_deaths(self) -> int:
+        return self._sum("server_deaths")
+
+    @property
+    def restarts(self) -> int:
+        return self._sum("restarts")
+
+    @property
+    def availability(self) -> float:
+        """Fleet-wide fraction of legitimate requests served."""
+        legitimate = self.legitimate_requests
+        if legitimate == 0:
+            return 1.0
+        return self.legitimate_served / legitimate
+
+    @property
+    def requests_per_sec(self) -> float:
+        """End-to-end fleet throughput (templates + all shards, wall clock)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
+    def tally(self) -> List[Dict[str, object]]:
+        """Per-instance tally dicts (the serial == pooled invariant)."""
+        return [tally.as_dict() for tally in self.instances]
+
+
+# ---------------------------------------------------------------------------
+# The run plan (inherited across the fork)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FleetGroup:
+    """One booted template: its image plus whether the boot was fatal."""
+
+    image: object
+    boot_fatal: bool
+
+
+@dataclass
+class _FleetRun:
+    """Everything a shard worker needs, inherited across the fork."""
+
+    instances: List[FleetInstance]
+    groups: Dict[Tuple[str, str, str], _FleetGroup]
+    shard_instances: List[List[FleetInstance]]
+    shard_timelines: List[List[FleetRequest]]
+    seed: int
+    scale: float
+    history_limit: Optional[int]
+    restart_on_death: bool
+    stats_every: int
+    spill_dir: Optional[str]
+    deadline: Optional[float]
+
+    def build_clone(self, instance: FleetInstance) -> Server:
+        from repro.harness.engine import ENGINE
+
+        server = ENGINE.build_server(
+            instance.server, instance.policy, config=instance.config,
+            plant_attack=True, scale=self.scale,
+        )
+        server.limit_history(self.history_limit)
+        server.adopt_image(self.groups[instance.group_key].image)
+        return server
+
+
+@dataclass
+class _FleetShardOutcome:
+    """One shard's results: its instances' tallies plus the shard aggregates."""
+
+    index: int
+    tallies: List[InstanceTally]
+    stats: StatsSink
+    spill_path: Optional[str]
+    deadline_hit: bool
+    wall_seconds: float
+
+
+def split_instances(instances: Sequence[FleetInstance], shards: int) -> List[List[FleetInstance]]:
+    """Partition instances into ``shards`` contiguous, near-equal groups.
+
+    The shard is the scheduler's unit of parallelism *and* of determinism:
+    boundaries depend only on ``shards``, never on ``workers``, and because
+    instances are independent processes the partition cannot change any
+    per-instance tally.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    instances = list(instances)
+    shards = min(shards, max(len(instances), 1))
+    base, extra = divmod(len(instances), shards)
+    groups: List[List[FleetInstance]] = []
+    position = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        groups.append(instances[position:position + size])
+        position += size
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Shard execution
+# ---------------------------------------------------------------------------
+
+
+def _drop(server: Server, fleet_request: FleetRequest) -> None:
+    """Emit the synthetic dropped RequestEnd for a request that never ran."""
+    request = fleet_request.request
+    server.ctx.bus.emit(
+        RequestEnd(
+            request_id=request.request_id,
+            kind=request.kind,
+            outcome=DROPPED_OUTCOME,
+            is_attack=request.is_attack,
+        )
+    )
+
+
+def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
+    """Drive one shard's instances through its slice of the timeline.
+
+    Every per-shard random source is seeded from ``(seed, shard index)`` —
+    the worker that happens to execute the shard contributes nothing — and
+    all request content/order was fixed in the parent, so this function is a
+    pure function of the run plan.
+    """
+    import random as _random
+
+    _random.seed(derive_seed(run.seed, "worker", index))
+    started = time.perf_counter()
+    instances = run.shard_instances[index]
+    timeline = run.shard_timelines[index]
+    stats = StatsSink(flush_every=run.stats_every)
+    spill_path: Optional[str] = None
+    sqlite_sink: Optional[SqliteSink] = None
+    if run.spill_dir is not None:
+        spill_path = os.path.join(run.spill_dir, f"shard-{index:04d}.sqlite")
+        sqlite_sink = SqliteSink(spill_path)
+
+    servers: Dict[int, Server] = {}
+    sinks: Dict[int, FleetTallySink] = {}
+    boot_deaths: Dict[int, int] = {}
+    restarts: Dict[int, int] = {}
+    for instance in instances:
+        server = run.build_clone(instance)
+        boot_deaths[instance.index] = 0
+        restarts[instance.index] = 0
+        if not server.alive:
+            # Fatal boot image (Pine/Mutt style persistent triggers): mirror
+            # the soak accounting — the failed boot is a death, the monitor
+            # retries once up front, and the request loop retries per request.
+            boot_deaths[instance.index] += 1
+            if run.restart_on_death:
+                server.restart()
+                restarts[instance.index] += 1
+                if not server.alive:
+                    boot_deaths[instance.index] += 1
+        sinks[instance.index] = server.add_telemetry_sink(FleetTallySink())
+        server.add_telemetry_sink(stats.view(instance.server, instance.policy))
+        if sqlite_sink is not None:
+            server.add_telemetry_sink(
+                sqlite_sink.scoped(dict(server.ctx.bus.scope), instance.index)
+            )
+        servers[instance.index] = server
+
+    session = current_session()
+    deadline_hit = False
+
+    def dispatch(fleet_request: FleetRequest) -> None:
+        nonlocal deadline_hit
+        server = servers[fleet_request.instance]
+        if deadline_hit:
+            _drop(server, fleet_request)
+            return
+        if run.deadline is not None and time.monotonic() > run.deadline:
+            # Budget exhausted: the rest of the timeline is dropped through
+            # the event stream, so exports stay exact even in wall-clock mode.
+            deadline_hit = True
+            _drop(server, fleet_request)
+            return
+        if not server.alive:
+            if run.restart_on_death:
+                server.restart()
+                restarts[fleet_request.instance] += 1
+                if not server.alive:
+                    boot_deaths[fleet_request.instance] += 1
+            if not server.alive:
+                _drop(server, fleet_request)
+                return
+        server.process(fleet_request.request)
+
+    for fleet_request in timeline:
+        if session is not None:
+            # Stamp each instance's events with its index as the scenario id,
+            # so JSONL session exports merge in instance order like the
+            # engine's scenarios do.
+            with session.scenario_scope(fleet_request.instance):
+                dispatch(fleet_request)
+        else:
+            dispatch(fleet_request)
+
+    tallies: List[InstanceTally] = []
+    for instance in instances:
+        server = servers[instance.index]
+        server.stop()
+        sink = sinks[instance.index]
+        instance_requests = [
+            fr for fr in timeline if fr.instance == instance.index
+        ]
+        tallies.append(
+            InstanceTally(
+                index=instance.index,
+                server=instance.server,
+                policy=instance.policy,
+                requests=len(instance_requests),
+                attack_requests=sum(
+                    1 for fr in instance_requests if fr.request.is_attack
+                ),
+                legitimate_served=sink.legitimate_served,
+                legitimate_failed=sink.legitimate_failed + sink.legitimate_dropped,
+                dropped=sink.legitimate_dropped + sink.attacks_dropped,
+                attacks_survived=sink.attacks_survived,
+                server_deaths=sink.server_deaths,
+                boot_deaths=boot_deaths[instance.index],
+                restarts=restarts[instance.index],
+                memory_errors_logged=sink.memory_errors,
+                error_sites=dict(sink.error_sites),
+            )
+        )
+    stats.flush()
+    if sqlite_sink is not None:
+        sqlite_sink.close()
+    return _FleetShardOutcome(
+        index=index,
+        tallies=tallies,
+        stats=stats,
+        spill_path=spill_path,
+        deadline_hit=deadline_hit,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _pool_run_fleet_shard(index: int) -> _FleetShardOutcome:
+    """Entry point inside a forked worker (the plan travels via the fork)."""
+    return _run_fleet_shard(_POOL_FLEET, index)
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+def run_fleet(
+    specs: Sequence[InstanceSpec],
+    total_requests: int = 2000,
+    seed: int = 20040101,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    scale: float = 0.25,
+    restart_on_death: bool = True,
+    history_limit: Optional[int] = 256,
+    allow_unbounded_history: bool = False,
+    sqlite_path: Optional[str] = None,
+    stats_every: int = 10_000,
+    max_seconds: Optional[float] = None,
+) -> FleetResult:
+    """Run a fleet soak: boot one template per group, clone, schedule, tally.
+
+    ``shards`` defaults to the instance count (one shard per instance —
+    maximal parallelism); any smaller value groups contiguous instances.
+    ``workers`` of None/0/1 runs the shards serially through the *same*
+    shard function, so pooled runs are tally-identical to serial ones by
+    construction.  ``sqlite_path`` streams every event to per-shard SQLite
+    spill databases merged (in shard order) into one database at that path.
+    ``max_seconds`` is a wall-clock budget: past it, remaining requests are
+    dropped through the event stream (tallies then depend on machine speed —
+    use the request-count budget for reproducible runs).
+
+    The per-request history of every instance is bounded (``history_limit``),
+    and — because a fleet is the 10^6-request path — an unbounded history is
+    refused unless ``allow_unbounded_history=True`` is passed explicitly.
+    """
+    global _POOL_FLEET
+    history_limit = bounded_history_limit(
+        history_limit, allow_unbounded=allow_unbounded_history, harness="run_fleet"
+    )
+    instances = expand_instances(specs)
+    model = TrafficModel(
+        [
+            InstanceTraffic(
+                server=instance.server,
+                arrival=make_arrival(instance.arrival, instance.rate),
+                weight=instance.weight,
+                attack_every=instance.attack_every,
+            )
+            for instance in instances
+        ],
+        total_requests=total_requests,
+        seed=seed,
+    )
+    timeline = model.timeline()
+
+    shard_count = len(instances) if shards is None else shards
+    shard_groups = split_instances(instances, shard_count)
+    shard_of = {
+        instance.index: shard_index
+        for shard_index, group in enumerate(shard_groups)
+        for instance in group
+    }
+    shard_timelines: List[List[FleetRequest]] = [[] for _ in shard_groups]
+    for fleet_request in timeline:
+        shard_timelines[shard_of[fleet_request.instance]].append(fleet_request)
+
+    started = time.perf_counter()
+    from repro.harness.engine import ENGINE
+
+    groups: Dict[Tuple[str, str, str], _FleetGroup] = {}
+    boot_fatal: Dict[str, bool] = {}
+    for instance in instances:
+        key = instance.group_key
+        if key in groups:
+            continue
+        template = ENGINE.build_server(
+            instance.server, instance.policy, config=instance.config,
+            plant_attack=True, scale=scale,
+        )
+        template.limit_history(history_limit)
+        fatal = template.start().fatal
+        image = template.boot_image
+        if not fatal:
+            # Session setup (the stability experiments' follow-up requests,
+            # e.g. Mutt re-opening the INBOX after the planted startup folder
+            # was rejected), then re-checkpoint: every clone AND every
+            # monitor restart restores the serving state, paid once per group.
+            for setup_request in ENGINE.profile(instance.server).make_follow_ups():
+                template.process(setup_request)
+            image = template.recheckpoint()
+        groups[key] = _FleetGroup(image=image, boot_fatal=fatal)
+        boot_fatal[instance.label] = fatal
+        template.stop()
+
+    spill_dir: Optional[str] = None
+    if sqlite_path is not None:
+        spill_dir = sqlite_path + ".spills"
+        os.makedirs(spill_dir, exist_ok=True)
+
+    run = _FleetRun(
+        instances=instances,
+        groups=groups,
+        shard_instances=shard_groups,
+        shard_timelines=shard_timelines,
+        seed=seed,
+        scale=scale,
+        history_limit=history_limit,
+        restart_on_death=restart_on_death,
+        stats_every=stats_every,
+        spill_dir=spill_dir,
+        deadline=(time.monotonic() + max_seconds) if max_seconds is not None else None,
+    )
+
+    count = 0 if workers is None else int(workers)
+    outcomes: List[_FleetShardOutcome] = []
+    if count > 1 and len(shard_groups) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            _POOL_FLEET = run
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(count, len(shard_groups)), mp_context=context
+                ) as pool:
+                    outcomes = list(
+                        pool.map(_pool_run_fleet_shard, range(len(shard_groups)))
+                    )
+            finally:
+                _POOL_FLEET = None
+    if not outcomes:
+        outcomes = [
+            _run_fleet_shard(run, index) for index in range(len(shard_groups))
+        ]
+
+    stats = StatsSink(flush_every=0)
+    tallies: List[InstanceTally] = []
+    deadline_hit = False
+    for outcome in outcomes:
+        tallies.extend(outcome.tallies)
+        stats.merge(outcome.stats)
+        deadline_hit = deadline_hit or outcome.deadline_hit
+    tallies.sort(key=lambda tally: tally.index)
+
+    if sqlite_path is not None:
+        spills = [
+            outcome.spill_path for outcome in outcomes
+            if outcome.spill_path is not None
+        ]
+        merge_sqlite(spills, sqlite_path)
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+    return FleetResult(
+        instances=tallies,
+        shard_count=len(shard_groups),
+        workers=count,
+        seed=seed,
+        boot_fatal=boot_fatal,
+        wall_seconds=time.perf_counter() - started,
+        stats=stats,
+        sqlite_path=sqlite_path,
+        deadline_hit=deadline_hit,
+    )
+
+
+__all__ = [
+    "DROPPED_OUTCOME",
+    "FleetInstance",
+    "FleetResult",
+    "FleetTallySink",
+    "InstanceSpec",
+    "InstanceTally",
+    "expand_instances",
+    "run_fleet",
+    "split_instances",
+]

@@ -21,6 +21,10 @@ Experiment ids
 ``exp-soak``
     Restart-heavy sharded soak per build: deaths restore the post-boot
     checkpoint, the stream fans out over the fork pool (``workers``).
+``exp-fleet``
+    Heterogeneous fleet soak: a mix of profiles x builds cloned from
+    checkpoint images under seeded arrival processes (``repro fleet`` is
+    the full CLI surface; this registers the canonical small fleet).
 ``exp-variants``
     §5.1 variants (boundless memory blocks, redirect) on the attack scenarios.
 ``exp-propagation``
@@ -294,6 +298,58 @@ def _run_soak(
 
 
 # ---------------------------------------------------------------------------
+# Fleet soak (heterogeneous instances, seeded arrivals, streaming sinks)
+# ---------------------------------------------------------------------------
+
+
+def _run_fleet(
+    total_requests: int = 900,
+    attack_every: int = 10,
+    workers: Optional[int] = None,
+    scale: float = 0.25,
+    seed: int = 20040101,
+) -> ExperimentOutput:
+    """The canonical small fleet: three profiles under two builds each.
+
+    ``repro fleet run`` exposes the full surface (arbitrary instance mixes,
+    arrival shapes, SQLite streaming); this registered experiment pins one
+    reproducible configuration so ``repro run exp-fleet`` and
+    ``repro trace export exp-fleet`` work like every other experiment.
+    """
+    from repro.fleet.report import format_fleet_table
+    from repro.fleet.scheduler import InstanceSpec, run_fleet
+
+    specs = [
+        InstanceSpec("apache", "failure-oblivious", count=2,
+                     attack_every=attack_every),
+        InstanceSpec("apache", "bounds-check", attack_every=attack_every),
+        InstanceSpec("pine", "failure-oblivious", attack_every=attack_every),
+        InstanceSpec("pine", "bounds-check", attack_every=attack_every),
+        InstanceSpec("sendmail", "failure-oblivious", attack_every=attack_every,
+                     arrival="bursty"),
+    ]
+    result = run_fleet(
+        specs, total_requests=total_requests, seed=seed, workers=workers,
+        scale=scale,
+    )
+    mode = f"{workers} workers" if workers and workers > 1 else "serial"
+    return ExperimentOutput(
+        experiment_id="exp-fleet",
+        title="Fleet soak: heterogeneous instances from checkpoint images",
+        table=format_fleet_table(
+            result,
+            title=f"Fleet soak: per-instance availability ({mode})",
+        ),
+        data=result,
+        notes=[
+            "instances are cloned from one template image per (server, build) "
+            "group; deaths restore the image O(dirty-bytes)",
+            f"traffic is bit-reproducible in seed={seed} regardless of workers",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
 # §5.1 variants
 # ---------------------------------------------------------------------------
 
@@ -381,6 +437,7 @@ EXPERIMENTS.update(
         "exp-throughput": _run_throughput,
         "exp-stability": _run_stability,
         "exp-soak": _run_soak,
+        "exp-fleet": _run_fleet,
         "exp-variants": _run_variants,
         "exp-propagation": _run_propagation,
     }

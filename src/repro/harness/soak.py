@@ -21,6 +21,12 @@ shard observes exactly the process state a freshly rebooted server would
 show.  Telemetry flows through the PR 3 per-worker spill files; each shard
 stamps its events with its shard index as the scenario id, so a merged JSONL
 export reads in stream order.
+
+This is the *single-server* scale harness.  For many servers at once — any
+mix of profiles x policies under seeded arrival processes, with streaming
+stats/SQLite sinks — use :func:`repro.fleet.scheduler.run_fleet` (the
+``repro fleet`` CLI), which drives fleets of instances cloned over this same
+checkpoint-image machinery.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.stability import WorkloadTallySink
-from repro.servers.base import Request, Server
+from repro.servers.base import Request, Server, bounded_history_limit
 from repro.telemetry.session import current_session
 from repro.workloads.streams import RequestStream, mixed_stream
 
@@ -273,6 +279,7 @@ def run_soak_experiment(
     config: Optional[Dict[str, object]] = None,
     use_checkpoints: bool = True,
     history_limit: Optional[int] = 64,
+    allow_unbounded_history: bool = False,
 ) -> SoakResult:
     """Run a sharded soak: boot once, fan the stream over cloned workers.
 
@@ -281,8 +288,16 @@ def run_soak_experiment(
     can report the speedup honestly.  ``workers`` of None/0/1 runs the shards
     serially in-process through the *same* shard function, so parallel runs
     are tally-identical to serial ones by construction.
+
+    As a soak-scale harness, an unbounded per-request history is refused
+    unless ``allow_unbounded_history=True`` opts in explicitly (see
+    :func:`~repro.servers.base.bounded_history_limit`).
     """
     global _POOL_SOAK
+    history_limit = bounded_history_limit(
+        history_limit, allow_unbounded=allow_unbounded_history,
+        harness="run_soak_experiment",
+    )
     workload = stream if stream is not None else mixed_stream(
         server_name, total_requests=total_requests,
         attack_every=attack_every, seed=seed,

@@ -103,6 +103,41 @@ class ServerError(Exception):
     """
 
 
+def bounded_history_limit(
+    limit: Optional[int],
+    allow_unbounded: bool = False,
+    harness: str = "this harness",
+) -> Optional[int]:
+    """Validate a soak-scale harness's per-request history bound.
+
+    The per-request :attr:`Server.history` is unbounded by default (short
+    experiment runs read it wholesale), which is exactly wrong for a
+    10^6-request soak or fleet run: one retained
+    :class:`~repro.errors.RequestResult` per request is an unbounded leak.
+    The long-running harnesses therefore refuse ``limit=None`` unless the
+    caller opts in explicitly with ``allow_unbounded=True``.
+
+    Returns the validated limit (as an ``int``, or ``None`` when unbounded
+    was explicitly allowed); raises :class:`ValueError` otherwise.
+    """
+    if limit is None:
+        if allow_unbounded:
+            return None
+        raise ValueError(
+            f"{harness} refuses an unbounded per-request history: a soak-scale "
+            "run would retain one RequestResult per request forever. Pass a "
+            "positive history_limit, or allow_unbounded_history=True to opt "
+            "in explicitly."
+        )
+    limit = int(limit)
+    if limit <= 0:
+        raise ValueError(
+            "history_limit must be positive (or None with "
+            "allow_unbounded_history=True)"
+        )
+    return limit
+
+
 @dataclass(frozen=True)
 class ProcessImage:
     """The post-boot checkpoint a server restarts (and pre-forks) from.
@@ -283,6 +318,30 @@ class Server(ABC):
     def _run_startup(self) -> Response:
         self.startup()
         return Response.ok(detail="started")
+
+    def recheckpoint(self) -> ProcessImage:
+        """Re-capture the restart checkpoint from the server's current state.
+
+        :meth:`start` checkpoints the immediately-post-boot state; a harness
+        that performs session setup after boot (the stability experiments'
+        follow-up requests — e.g. Mutt re-opening the INBOX after the planted
+        startup folder was rejected) can call this afterwards so that clones
+        and monitor restarts restore the *serving* state, not the raw boot.
+        The boot result and replayed boot telemetry are carried over from the
+        original image: a restore still reads as "the process booted", and
+        the setup requests are not replayed into observers' tallies.
+        """
+        if self._image is None or not self.checkpoint_restarts:
+            raise RuntimeError(
+                "recheckpoint requires a started server with checkpoints enabled"
+            )
+        self._image = ProcessImage(
+            ctx=self.ctx.checkpoint(),
+            state=self._capture_state(),
+            boot_result=self._image.boot_result,
+            boot_events=self._image.boot_events,
+        )
+        return self._image
 
     @property
     def boot_image(self) -> Optional[ProcessImage]:

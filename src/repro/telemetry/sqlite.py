@@ -1,0 +1,257 @@
+"""Streaming SQLite export: the bus feeds post-hoc SQL instead of flat JSONL.
+
+A :class:`SqliteSink` appends every event to a SQLite database with batched
+``executemany`` inserts, so a fleet-scale run streams its telemetry to disk in
+bounded memory and the result is *queryable* — ``repro fleet report`` and any
+ad-hoc ``sqlite3`` session can aggregate billions of rows without re-parsing
+JSONL.  The on-disk shape mirrors the JSONL export exactly: each row stores
+the full :func:`~repro.telemetry.events.to_record` dict (scope and scenario
+stamps included) as JSON in the ``record`` column, plus denormalized index
+columns (event tag, server, policy, site, scenario, request id) for SQL
+filtering.  Because the ``record`` column is the same dict a JSONL line
+carries, :func:`iter_sqlite_records` makes every offline consumer
+(``repro trace summary`` / ``filter``, :func:`~repro.telemetry.summary.request_traces`)
+work identically on either format.
+
+Fork-pool runs write one database per worker shard (no cross-process
+contention on a single connection) and :func:`merge_sqlite` reassembles them
+ordered by scenario id, exactly like
+:meth:`~repro.telemetry.session.TelemetrySession.merge` does for JSONL spills.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.telemetry.events import to_record
+from repro.telemetry.sinks import Sink
+
+#: The first bytes of every SQLite database file (used for format sniffing).
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS events (
+    seq        INTEGER PRIMARY KEY,
+    scenario   INTEGER,
+    event      TEXT NOT NULL,
+    server     TEXT,
+    policy     TEXT,
+    site       TEXT,
+    request_id INTEGER,
+    record     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_events_scenario ON events (scenario);
+CREATE INDEX IF NOT EXISTS idx_events_event ON events (event);
+CREATE INDEX IF NOT EXISTS idx_events_site ON events (site);
+"""
+
+
+def is_sqlite_file(path: str) -> bool:
+    """True if ``path`` starts with the SQLite magic (vs a JSONL text file)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def _row_for(record: Mapping[str, object]) -> tuple:
+    scope = record.get("scope") or {}
+    return (
+        record.get("scenario"),
+        record.get("event"),
+        scope.get("server") if isinstance(scope, Mapping) else None,
+        scope.get("policy") if isinstance(scope, Mapping) else None,
+        record.get("site"),
+        record.get("request_id"),
+        json.dumps(record),
+    )
+
+
+class SqliteSink(Sink):
+    """Batched-insert SQLite sink: attachable to a bus, or fed full records.
+
+    Parameters
+    ----------
+    path:
+        Database file (created with the ``events`` schema if missing).
+    batch_size:
+        Rows buffered between ``executemany`` flushes.  Batching is what
+        keeps the per-event cost near the JSONL sink's: one commit per batch,
+        not per event.
+    scope / scenario:
+        Default stamps merged into records written via :meth:`emit` (a bus
+        delivers bare events, so the attacher supplies the attribution).
+        ``scenario`` is mutable — the fleet scheduler retargets it per
+        instance; use :meth:`scoped` for a fixed-stamp adapter instead.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        batch_size: int = 512,
+        scope: Optional[Mapping[str, str]] = None,
+        scenario: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.path = path
+        self.batch_size = batch_size
+        self.scope = dict(scope) if scope else None
+        self.scenario = scenario
+        self.written = 0
+        self._batch: List[tuple] = []
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        # Durability is the merge step's job (spill databases are merged and
+        # deleted); trading fsync-per-commit away keeps streaming writes from
+        # dominating the run being observed.
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.commit()
+
+    # -- writing -----------------------------------------------------------------
+
+    def emit(self, event: object) -> None:
+        record = to_record(event)
+        if self.scope:
+            record["scope"] = dict(self.scope)
+        if self.scenario is not None:
+            record["scenario"] = self.scenario
+        self.write_record(record)
+
+    def write_record(self, record: Mapping[str, object]) -> None:
+        """Append one already-stamped record dict (the JSONL line shape)."""
+        self._batch.append(_row_for(record))
+        self.written += 1
+        if len(self._batch) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered batch out (no-op when the buffer is empty)."""
+        if not self._batch:
+            return
+        self._conn.executemany(
+            "INSERT INTO events (scenario, event, server, policy, site, "
+            "request_id, record) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            self._batch,
+        )
+        self._conn.commit()
+        self._batch.clear()
+
+    def close(self) -> None:
+        """Flush pending rows and close the connection."""
+        self.flush()
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- adapters ----------------------------------------------------------------
+
+    def scoped(self, scope: Mapping[str, str], scenario: Optional[int]) -> Sink:
+        """A fixed-stamp bus adapter forwarding into this sink.
+
+        One shared database can then serve many server instances: each
+        instance attaches its own scoped adapter, and every row lands with
+        that instance's server/policy scope and scenario id.
+        """
+        return _ScopedSqliteView(self, scope, scenario)
+
+
+class _ScopedSqliteView(Sink):
+    __slots__ = ("_sink", "_scope", "_scenario")
+
+    def __init__(self, sink: SqliteSink, scope: Mapping[str, str],
+                 scenario: Optional[int]) -> None:
+        self._sink = sink
+        self._scope = dict(scope)
+        self._scenario = scenario
+
+    def emit(self, event: object) -> None:
+        record = to_record(event)
+        record["scope"] = dict(self._scope)
+        if self._scenario is not None:
+            record["scenario"] = self._scenario
+        self._sink.write_record(record)
+
+
+# -- reading / merging ---------------------------------------------------------
+
+
+def iter_sqlite_records(path: str) -> Iterator[Dict[str, object]]:
+    """Yield the record dicts of a SQLite export, in stored (seq) order.
+
+    The yielded dicts are exactly what the equivalent JSONL export's lines
+    parse to, so every offline consumer accepts either format unchanged.
+    """
+    conn = sqlite3.connect(path)
+    try:
+        for (text,) in conn.execute("SELECT record FROM events ORDER BY seq"):
+            yield json.loads(text)
+    finally:
+        conn.close()
+
+
+def merge_sqlite(paths: Sequence[str], out_path: str) -> int:
+    """Combine per-worker spill databases into one, ordered by scenario.
+
+    Mirrors :meth:`~repro.telemetry.session.TelemetrySession.merge`: within a
+    spill, rows keep their order; across the merge, contiguous same-scenario
+    blocks are sorted by (scenario id, discovery order), unscoped rows
+    (scenario NULL) first.  ``paths`` should be in spec/shard order so
+    discovery order is deterministic.  Returns the number of rows written.
+    """
+    if os.path.exists(out_path):
+        os.unlink(out_path)
+    out = sqlite3.connect(out_path)
+    out.executescript(_SCHEMA)
+    out.execute("PRAGMA synchronous=OFF")
+    # (scenario_key, discovery_order, rows) blocks, like the JSONL merge —
+    # block bookkeeping is O(blocks); row copies stream batch-wise per block.
+    blocks: List[tuple] = []
+    total = 0
+    for path in paths:
+        spill = sqlite3.connect(path)
+        try:
+            block_key: object = None
+            block_rows: List[tuple] = []
+            for row in spill.execute(
+                "SELECT scenario, event, server, policy, site, request_id, "
+                "record FROM events ORDER BY seq"
+            ):
+                key = -1 if row[0] is None else row[0]
+                if block_rows and key != block_key:
+                    blocks.append((block_key, len(blocks), block_rows))
+                    block_rows = []
+                block_key = key
+                block_rows.append(row)
+                total += 1
+            if block_rows:
+                blocks.append((block_key, len(blocks), block_rows))
+        finally:
+            spill.close()
+    blocks.sort(key=lambda block: (block[0], block[1]))
+    for _key, _order, rows in blocks:
+        out.executemany(
+            "INSERT INTO events (scenario, event, server, policy, site, "
+            "request_id, record) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+    out.commit()
+    out.close()
+    return total
+
+
+__all__ = [
+    "SQLITE_MAGIC",
+    "SqliteSink",
+    "is_sqlite_file",
+    "iter_sqlite_records",
+    "merge_sqlite",
+]

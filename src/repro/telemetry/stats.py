@@ -1,0 +1,155 @@
+"""Live rolling statistics: the bounded-memory sink for fleet-scale runs.
+
+A :class:`CoalescingRingSink` bounds *event storage*, but a soak that runs for
+10^6-10^7 requests still wants a live, queryable view of every server it is
+driving — served/failed/survived counts, error totals, hottest sites — without
+retaining the stream.  :class:`StatsSink` is that view: one rolling
+:class:`~repro.telemetry.sinks.CounterSink` per ``(server, policy)`` key, fed
+through per-instance :meth:`StatsSink.view` adapters, with a periodic *flush*
+that appends a compact snapshot row to a bounded deque.  Memory is
+O(keys x distinct sites + snapshots), independent of run length — this is the
+"stats-style live sink" the ROADMAP names as the prerequisite for fleet soaks.
+
+The snapshot trail doubles as a coarse time series: a dashboard (or a test)
+can diff consecutive snapshots to see the request rate and error mix evolve
+over the run without any per-event storage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import RequestEnd
+from repro.telemetry.sinks import CounterSink, Sink
+
+#: A rolling-counter key: ``(server, policy)``.
+StatsKey = Tuple[str, str]
+
+
+class StatsView(Sink):
+    """The per-instance adapter: stamps a fixed key onto a shared StatsSink.
+
+    Bus sinks receive bare events (the bus's scope is only stamped at JSONL
+    export time), so a shared aggregator cannot tell which server emitted
+    what.  Each server instance therefore attaches its own view, which
+    forwards every event to the shared :class:`StatsSink` under that
+    instance's ``(server, policy)`` key.
+    """
+
+    __slots__ = ("_stats", "key")
+
+    def __init__(self, stats: "StatsSink", key: StatsKey) -> None:
+        self._stats = stats
+        self.key = key
+
+    def emit(self, event: object) -> None:
+        self._stats.emit_keyed(self.key, event)
+
+
+class StatsSink:
+    """Rolling per-``(server, policy)`` counters with periodic flush snapshots.
+
+    Parameters
+    ----------
+    flush_every:
+        Number of :class:`~repro.telemetry.events.RequestEnd` events (across
+        all keys) between snapshot flushes.  0 disables periodic flushing
+        (:meth:`flush` can still be called explicitly).
+    max_snapshots:
+        Bound on the retained snapshot trail (oldest dropped first), so the
+        sink's memory stays O(1) in run length.
+    """
+
+    def __init__(self, flush_every: int = 10_000, max_snapshots: int = 64) -> None:
+        if flush_every < 0:
+            raise ValueError("flush_every must be >= 0")
+        self.flush_every = flush_every
+        self.counters: Dict[StatsKey, CounterSink] = {}
+        self.events_seen = 0
+        self.requests_seen = 0
+        self._requests_at_last_flush = 0
+        self.snapshots: Deque[Dict[str, object]] = deque(maxlen=max_snapshots)
+
+    def view(self, server: str, policy: str) -> StatsView:
+        """An attachable per-instance sink feeding this aggregator's key."""
+        return StatsView(self, (server, policy))
+
+    def emit_keyed(self, key: StatsKey, event: object) -> None:
+        """Fold one event into the rolling counters for ``key``."""
+        counter = self.counters.get(key)
+        if counter is None:
+            counter = self.counters[key] = CounterSink()
+        counter.emit(event)
+        self.events_seen += 1
+        if isinstance(event, RequestEnd) and event.kind != "__startup__":
+            self.requests_seen += 1
+            if (self.flush_every
+                    and self.requests_seen - self._requests_at_last_flush
+                    >= self.flush_every):
+                self.flush()
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def flush(self) -> Dict[str, object]:
+        """Append (and return) a compact snapshot of the rolling counters.
+
+        Snapshot rows carry cumulative counts; consumers diff consecutive
+        rows to recover per-interval rates.
+        """
+        snapshot: Dict[str, object] = {
+            "requests_seen": self.requests_seen,
+            "events_seen": self.events_seen,
+            "keys": {
+                f"{server}/{policy}": {
+                    "requests_by_outcome": dict(counter.requests_by_outcome),
+                    "invalid_total": counter.invalid_total,
+                    "manufactured_bytes": counter.manufactured_bytes,
+                    "discarded_bytes": counter.discarded_bytes,
+                    "redirected_accesses": counter.redirected_accesses,
+                }
+                for (server, policy), counter in sorted(self.counters.items())
+            },
+        }
+        self.snapshots.append(snapshot)
+        self._requests_at_last_flush = self.requests_seen
+        return snapshot
+
+    # -- queries -----------------------------------------------------------------
+
+    def keys(self) -> List[StatsKey]:
+        """The ``(server, policy)`` keys observed so far, sorted."""
+        return sorted(self.counters)
+
+    def counter(self, server: str, policy: str) -> Optional[CounterSink]:
+        """The rolling counter for one key (None if never observed)."""
+        return self.counters.get((server, policy))
+
+    def merge(self, other: "StatsSink") -> None:
+        """Fold another StatsSink's counters into this one (key-wise).
+
+        Used by the fleet scheduler to combine per-shard aggregates after a
+        fork-pool fan-out; snapshot trails are not merged (they are per-shard
+        time series), only the rolling totals.
+        """
+        for key, counter in other.counters.items():
+            mine = self.counters.get(key)
+            if mine is None:
+                mine = self.counters[key] = CounterSink()
+            mine.by_type.update(counter.by_type)
+            mine.invalid_total += counter.invalid_total
+            mine.invalid_by_site.update(counter.invalid_by_site)
+            mine.invalid_by_kind.update(counter.invalid_by_kind)
+            mine.invalid_by_access.update(counter.invalid_by_access)
+            mine.manufactured_bytes += counter.manufactured_bytes
+            mine.discarded_bytes += counter.discarded_bytes
+            mine.stored_bytes += counter.stored_bytes
+            mine.redirected_accesses += counter.redirected_accesses
+            mine.allocations += counter.allocations
+            mine.frees += counter.frees
+            mine.requests_by_outcome.update(counter.requests_by_outcome)
+        self.events_seen += other.events_seen
+        self.requests_seen += other.requests_seen
+
+
+__all__ = ["StatsKey", "StatsSink", "StatsView"]

@@ -8,7 +8,7 @@ from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experim
 EXPECTED_IDS = {
     "fig2", "fig3", "fig4", "fig5", "fig6",
     "tab-security", "exp-throughput", "exp-stability", "exp-soak",
-    "exp-variants", "exp-propagation",
+    "exp-fleet", "exp-variants", "exp-propagation",
 }
 
 

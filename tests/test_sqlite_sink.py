@@ -1,0 +1,266 @@
+"""The streaming SQLite sink: round-trips, batching, spill merge, parity.
+
+The contract under test: a SQLite export carries exactly the record dicts a
+JSONL export would (one row's ``record`` column == one JSONL line), so every
+offline consumer — ``repro trace summary``/``filter``, the fleet report —
+works identically on either format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessKind, ErrorKind, MemoryErrorEvent, RequestOutcome
+from repro.telemetry import (
+    AllocFree,
+    Discard,
+    InvalidAccess,
+    Manufacture,
+    Redirect,
+    RequestEnd,
+    RequestStart,
+    ScenarioEnd,
+    ScenarioStart,
+    SqliteSink,
+    event_name,
+    from_record,
+    is_sqlite_file,
+    iter_sqlite_records,
+    iter_trace_records,
+    merge_sqlite,
+    summarize_trace,
+    to_record,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies: the same nine event types the JSONL round-trip suite covers.
+# ---------------------------------------------------------------------------
+
+text = st.text(max_size=24)
+request_ids = st.none() | st.integers(min_value=0, max_value=10**9)
+counts = st.integers(min_value=0, max_value=10**9)
+offsets = st.integers(min_value=-(10**9), max_value=10**9)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+outcomes = st.sampled_from([outcome.value for outcome in RequestOutcome])
+
+memory_errors = st.builds(
+    MemoryErrorEvent,
+    kind=st.sampled_from(ErrorKind),
+    access=st.sampled_from(AccessKind),
+    unit_name=text,
+    unit_size=counts,
+    offset=offsets,
+    length=counts,
+    site=text,
+    request_id=request_ids,
+)
+
+run_counts = st.integers(min_value=1, max_value=10**6)
+strides = st.integers(min_value=-4, max_value=4)
+
+events = st.one_of(
+    st.builds(InvalidAccess, error=memory_errors, count=run_counts, stride=strides),
+    st.builds(Discard, length=counts, site=text, request_id=request_ids,
+              stored=st.booleans(), count=run_counts),
+    st.builds(Manufacture, length=counts, site=text, request_id=request_ids,
+              count=run_counts),
+    st.builds(Redirect, offset=offsets, redirect_offset=offsets, length=counts,
+              access=st.sampled_from(["read", "write"]), site=text,
+              request_id=request_ids, count=run_counts),
+    st.builds(AllocFree, op=st.sampled_from(["malloc", "free"]), unit_name=text,
+              size=counts, base=counts, request_id=request_ids),
+    st.builds(RequestStart, request_id=counts, kind=text, is_attack=st.booleans()),
+    st.builds(RequestEnd, request_id=counts, kind=text, outcome=outcomes,
+              is_attack=st.booleans(), elapsed_seconds=finite_floats,
+              memory_errors=counts,
+              error_sites=st.lists(st.tuples(text, counts), max_size=4).map(tuple)),
+    st.builds(ScenarioStart, scenario_id=counts, server=text, policy=text,
+              workload=text, scale=finite_floats),
+    st.builds(ScenarioEnd, scenario_id=counts, seconds=finite_floats),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(event=events)
+    def test_every_event_round_trips_through_sqlite(self, event):
+        """Acceptance: emit -> SQLite row -> iter -> from_record is identity
+        for all nine event types (mirroring the JSONL Hypothesis suite)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trip.sqlite")
+            with SqliteSink(path, batch_size=4) as sink:
+                sink.emit(event)
+            records = list(iter_sqlite_records(path))
+            assert len(records) == 1
+            restored = from_record(records[0])
+            assert restored == event
+            assert event_name(restored) == records[0]["event"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(event=events)
+    def test_stamps_survive_the_round_trip(self, event):
+        """Scope and scenario stamped at write time come back verbatim."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "stamped.sqlite")
+            scope = {"server": "pine", "policy": "failure-oblivious"}
+            with SqliteSink(path, scope=scope, scenario=7) as sink:
+                sink.emit(event)
+            (record,) = list(iter_sqlite_records(path))
+            assert record["scope"] == scope
+            assert record["scenario"] == 7
+            assert from_record(record) == event
+
+
+class TestSinkMechanics:
+    def _end(self, request_id=1, outcome="served"):
+        return RequestEnd(request_id=request_id, kind="get", outcome=outcome)
+
+    def test_batching_defers_writes_until_flush(self, tmp_path):
+        path = str(tmp_path / "batch.sqlite")
+        sink = SqliteSink(path, batch_size=100)
+        for index in range(99):
+            sink.emit(self._end(request_id=index))
+        # Nothing committed yet: a second connection sees an empty table.
+        other = sqlite3.connect(path)
+        assert other.execute("SELECT COUNT(*) FROM events").fetchone()[0] == 0
+        sink.emit(self._end(request_id=99))  # 100th row triggers the batch
+        assert other.execute("SELECT COUNT(*) FROM events").fetchone()[0] == 100
+        sink.emit(self._end(request_id=100))
+        sink.close()  # close flushes the partial batch
+        assert other.execute("SELECT COUNT(*) FROM events").fetchone()[0] == 101
+        other.close()
+
+    def test_rows_keep_insertion_order(self, tmp_path):
+        path = str(tmp_path / "order.sqlite")
+        with SqliteSink(path, batch_size=3) as sink:
+            for index in range(10):
+                sink.emit(self._end(request_id=index))
+        ids = [record["request_id"] for record in iter_sqlite_records(path)]
+        assert ids == list(range(10))
+
+    def test_scoped_adapter_stamps_per_instance(self, tmp_path):
+        """One shared database, many instances: each scoped view stamps its
+        own scope and scenario (the fleet scheduler's attachment pattern)."""
+        path = str(tmp_path / "scoped.sqlite")
+        with SqliteSink(path) as sink:
+            a = sink.scoped({"server": "apache", "policy": "standard"}, 0)
+            b = sink.scoped({"server": "pine", "policy": "boundless"}, 1)
+            a.emit(self._end(request_id=10))
+            b.emit(self._end(request_id=11))
+            a.emit(self._end(request_id=12))
+        records = list(iter_sqlite_records(path))
+        stamps = [(r["scenario"], r["scope"]["server"]) for r in records]
+        assert stamps == [(0, "apache"), (1, "pine"), (0, "apache")]
+
+    def test_denormalized_columns_support_sql_filtering(self, tmp_path):
+        path = str(tmp_path / "cols.sqlite")
+        with SqliteSink(path, scope={"server": "mutt", "policy": "redirect"},
+                        scenario=3) as sink:
+            sink.emit(self._end())
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT scenario, event, server, policy, request_id FROM events"
+        ).fetchone()
+        conn.close()
+        assert row == (3, "request-end", "mutt", "redirect", 1)
+
+    def test_rejects_nonpositive_batch_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            SqliteSink(str(tmp_path / "bad.sqlite"), batch_size=0)
+
+    def test_format_sniffing(self, tmp_path):
+        db = str(tmp_path / "a.sqlite")
+        with SqliteSink(db) as sink:
+            sink.emit(self._end())
+        jsonl = str(tmp_path / "a.jsonl")
+        with open(jsonl, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(to_record(self._end())) + "\n")
+        assert is_sqlite_file(db)
+        assert not is_sqlite_file(jsonl)
+        assert not is_sqlite_file(str(tmp_path / "missing.file"))
+        # iter_trace_records dispatches on the sniff result.
+        for path in (db, jsonl):
+            (record,) = list(iter_trace_records(path))
+            assert record["event"] == "request-end"
+
+
+class TestMergeOrdering:
+    def _spill(self, tmp_path, name, stamped):
+        """Write one spill DB from (scenario, request_id) pairs, in order."""
+        path = str(tmp_path / f"{name}.sqlite")
+        with SqliteSink(path) as sink:
+            for scenario, request_id in stamped:
+                record = to_record(
+                    RequestEnd(request_id=request_id, kind="get", outcome="served")
+                )
+                if scenario is not None:
+                    record["scenario"] = scenario
+                sink.write_record(record)
+        return path
+
+    def test_merge_orders_scenario_blocks_like_jsonl(self, tmp_path):
+        """Contiguous scenario blocks sort by (scenario, discovery order);
+        unscoped rows come first — the JSONL merge contract, per worker DB."""
+        spill_a = self._spill(tmp_path, "a", [(2, 20), (2, 21), (0, 1)])
+        spill_b = self._spill(tmp_path, "b", [(None, 90), (1, 10), (1, 11)])
+        out = str(tmp_path / "merged.sqlite")
+        written = merge_sqlite([spill_a, spill_b], out)
+        assert written == 6
+        merged = [
+            (record.get("scenario"), record["request_id"])
+            for record in iter_sqlite_records(out)
+        ]
+        assert merged == [
+            (None, 90), (0, 1), (1, 10), (1, 11), (2, 20), (2, 21),
+        ]
+
+    def test_merge_overwrites_existing_output(self, tmp_path):
+        spill = self._spill(tmp_path, "only", [(0, 1)])
+        out = str(tmp_path / "merged.sqlite")
+        assert merge_sqlite([spill], out) == 1
+        assert merge_sqlite([spill], out) == 1  # not 2: fresh database
+        assert len(list(iter_sqlite_records(out))) == 1
+
+    def test_rows_within_a_block_keep_spill_order(self, tmp_path):
+        spill = self._spill(tmp_path, "one", [(0, 5), (0, 3), (0, 4)])
+        out = str(tmp_path / "merged.sqlite")
+        merge_sqlite([spill], out)
+        ids = [record["request_id"] for record in iter_sqlite_records(out)]
+        assert ids == [5, 3, 4]
+
+
+class TestSummaryParity:
+    def test_trace_summary_identical_from_sqlite_and_jsonl(self, tmp_path):
+        """Acceptance: the same stream exported both ways summarizes (and
+        filters) to identical counts through `repro trace summary`'s engine."""
+        from repro.fleet.scheduler import InstanceSpec, run_fleet
+
+        db = str(tmp_path / "fleet.sqlite")
+        run_fleet(
+            [
+                InstanceSpec("apache", "failure-oblivious"),
+                InstanceSpec("apache", "bounds-check"),
+                InstanceSpec("pine", "failure-oblivious"),
+            ],
+            total_requests=150, seed=11, sqlite_path=db,
+        )
+        jsonl = str(tmp_path / "fleet.jsonl")
+        with open(jsonl, "w", encoding="utf-8") as handle:
+            for record in iter_sqlite_records(db):
+                handle.write(json.dumps(record) + "\n")
+
+        whole_db = summarize_trace(db)
+        whole_jsonl = summarize_trace(jsonl)
+        assert whole_db.total_events == whole_jsonl.total_events > 0
+        assert whole_db == whole_jsonl
+        filtered_db = summarize_trace(db, server="apache", kind="get")
+        filtered_jsonl = summarize_trace(jsonl, server="apache", kind="get")
+        assert filtered_db == filtered_jsonl
+        assert filtered_db.total_events < whole_db.total_events
