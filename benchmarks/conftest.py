@@ -17,11 +17,18 @@ so a benchmark run leaves a written record.
 from __future__ import annotations
 
 import os
-from typing import Callable
+import re
+from typing import Callable, Dict, Optional
 
 from repro.harness.engine import ENGINE
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+_RESULTS_HEADER = "failure-oblivious computing reproduction: benchmark tables\n"
+_RULE = "=" * 72
+_SECTION_RE = re.compile(
+    rf"\n{_RULE}\n(.*?)\n{_RULE}\n(.*?)(?=\n{_RULE}\n|\Z)", re.S
+)
 
 
 def bench_workers() -> int:
@@ -36,24 +43,45 @@ def bench_workers() -> int:
         return 0
 
 
-#: Whether this session has already truncated the results file.  Truncation
-#: is lazy — done by the first ``record_table`` call — so sessions that run
-#: only table-free modules (e.g. the substrate throughput benchmark alone)
-#: leave the committed reproduction tables intact.
-_results_file_fresh = False
+#: Sections of the results file, keyed by table title; loaded lazily from the
+#: committed file by the first ``record_table`` call of the session.
+_results_sections: Optional[Dict[str, str]] = None
+
+
+def _load_sections() -> Dict[str, str]:
+    """Parse the committed results file back into {title: table text}."""
+    try:
+        with open(RESULTS_PATH, encoding="utf-8") as handle:
+            content = handle.read()
+    except OSError:
+        return {}
+    return {
+        title: body.strip("\n")
+        for title, body in _SECTION_RE.findall(content)
+    }
 
 
 def record_table(title: str, table_text: str) -> None:
-    """Print a reproduction table and append it to the results file."""
-    global _results_file_fresh
-    banner = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n"
+    """Print a reproduction table and merge it into the results file.
+
+    The file is rewritten with its sections in sorted title order, and
+    sections this session did not regenerate (e.g. under a ``-k`` filter)
+    are carried over from the committed file — so a diff of ``results.txt``
+    shows exactly the tables whose content actually changed, never
+    reordering or truncation churn.
+    """
+    global _results_sections
+    banner = f"\n{_RULE}\n{title}\n{_RULE}\n"
     print(banner + table_text)
     try:
-        with open(RESULTS_PATH, "a" if _results_file_fresh else "w", encoding="utf-8") as handle:
-            if not _results_file_fresh:
-                handle.write("failure-oblivious computing reproduction: benchmark tables\n")
-            handle.write(banner + table_text + "\n")
-        _results_file_fresh = True
+        if _results_sections is None:
+            _results_sections = _load_sections()
+        _results_sections[title] = table_text.rstrip("\n")
+        with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+            handle.write(_RESULTS_HEADER)
+            for name in sorted(_results_sections):
+                handle.write(f"\n{_RULE}\n{name}\n{_RULE}\n")
+                handle.write(_results_sections[name] + "\n")
     except OSError:  # pragma: no cover - the results file is best effort
         pass
 

@@ -136,6 +136,28 @@ FLEET_SPECS = (
 )
 #: Rounds for the gated fleet cell (best observed rate, like the soak gate).
 FLEET_ROUNDS = 3 if FULL else 2
+#: ISSUE 8 — pooled fleet dispatch.  The same heterogeneous mix is also run
+#: through the fork pool; shared-memory template images and batched dispatch
+#: are what make the pooled rate scale past the serial one.
+FLEET_W4_WORKERS = 4
+FLEET_W4_REQUESTS = 20000 if FULL else 2000
+#: PR 6 full-mode pooled baseline (req/s at --workers 4); the v5 acceptance
+#: floor is double it.
+FLEET_W4_BASELINE_RPS = 908.0
+FLEET_W4_FLOOR_FACTOR = 2.0
+
+#: ISSUE 8 — shared-memory O(1) cloning.  The clone benchmark boots the same
+#: Apache template on two heaps a decimal order apart and times adopting the
+#: (shared) boot image into a fresh server.  The touched-block sparse restore
+#: plus the shared payload make the per-clone cost a function of the bytes
+#: the boot touched, not of the image size, so the ratio must stay flat.
+CLONE_HEAP_SMALL = 4 * 1024 * 1024
+CLONE_HEAP_LARGE = 40 * 1024 * 1024
+CLONE_ROUNDS = 30 if FULL else 10
+#: Acceptance ceiling for clone_seconds_large / clone_seconds_small.  Both
+#: sides are measured in the same process moments apart, so machine speed
+#: cancels; a restore that copies whole segments again blows past this at ~10x.
+CLONE_RATIO_CEILING = 1.5
 
 
 # -- measurement ---------------------------------------------------------------
@@ -328,6 +350,14 @@ def _measure_fleet():
         result = run_fleet(specs, total_requests=FLEET_REQUESTS, seed=20040101)
         if best is None or result.requests_per_sec > best.requests_per_sec:
             best = result
+    pooled = None
+    for _ in range(FLEET_ROUNDS):
+        result = run_fleet(
+            specs, total_requests=FLEET_W4_REQUESTS, seed=20040101,
+            workers=FLEET_W4_WORKERS,
+        )
+        if pooled is None or result.requests_per_sec > pooled.requests_per_sec:
+            pooled = result
     return {
         "fleet_requests_per_sec": round(best.requests_per_sec, 1),
         "total_requests": best.total_requests,
@@ -336,6 +366,75 @@ def _measure_fleet():
         "server_deaths": best.server_deaths,
         "restarts": best.restarts,
         "availability": round(best.availability, 4),
+        "fleet_workers4_requests_per_sec": round(pooled.requests_per_sec, 1),
+        "fleet_workers4_total_requests": pooled.total_requests,
+        "fleet_workers4_workers": FLEET_W4_WORKERS,
+    }
+
+
+def _measure_clone():
+    """Time adopting the (shared-memory) template image into a fresh server.
+
+    The operation timed is exactly what the fleet scheduler and the pre-fork
+    pool pay per clone: restore the template checkpoint into a live substrate
+    plus reinstate the captured server state.  ``full_copy_seconds_large``
+    is the reference cost of materializing the large image's payload once —
+    what a deep-copy clone would pay before even starting the restore.
+    """
+    from dataclasses import replace
+
+    from repro.memory.shared_image import SharedImageStore
+    from repro.workloads.attacks import apache_vulnerable_config
+
+    def time_clone(heap_size):
+        server_cls = SERVER_CLASSES["apache"]
+        policy_cls = POLICY_NAMES["failure-oblivious"]
+        template = server_cls(
+            policy_cls, config=apache_vulnerable_config(), heap_size=heap_size
+        )
+        boot = template.start()
+        if boot.fatal:  # pragma: no cover - the benchmark config always boots
+            raise RuntimeError("apache template failed to boot")
+        image = template.boot_image
+        image_bytes = sum(
+            len(contents) for _name, _base, contents in image.ctx.space.segments
+        )
+        with SharedImageStore() as store:
+            shared = replace(image, ctx=store.share_image(image.ctx))
+            clone = server_cls(
+                policy_cls, config=apache_vulnerable_config(), heap_size=heap_size
+            )
+            clone.adopt_image(shared)  # warm the restore path once
+            gc.collect()
+            gc.disable()
+            try:
+                best = float("inf")
+                for _ in range(CLONE_ROUNDS):
+                    started = time.perf_counter()
+                    clone.adopt_image(shared)
+                    best = min(best, time.perf_counter() - started)
+            finally:
+                gc.enable()
+            started = time.perf_counter()
+            for _name, _base, contents in shared.ctx.space.segments:
+                bytes(contents)
+            full_copy = time.perf_counter() - started
+            clone.stop()
+        template.stop()
+        return image_bytes, best, full_copy
+
+    small_bytes, small_clone, _ = time_clone(CLONE_HEAP_SMALL)
+    large_bytes, large_clone, large_copy = time_clone(CLONE_HEAP_LARGE)
+    return {
+        "image_small_bytes": small_bytes,
+        "image_large_bytes": large_bytes,
+        "clone_seconds_small": round(small_clone, 6),
+        "clone_seconds_large": round(large_clone, 6),
+        "clone_cost_ratio_10x_image": (
+            round(large_clone / small_clone, 2) if small_clone > 0 else None
+        ),
+        "full_copy_seconds_large": round(large_copy, 6),
+        "rounds": CLONE_ROUNDS,
     }
 
 
@@ -377,7 +476,15 @@ def fleet_report():
 
 
 @pytest.fixture(scope="module")
-def substrate_report(flood_report, restart_report, soak_report, fleet_report):
+def clone_report():
+    """Measure shared-image clone cost on 10x-apart heaps — the CI fast-mode
+    clone smoke step exercises this alone (``-k clone``)."""
+    return _measure_clone()
+
+
+@pytest.fixture(scope="module")
+def substrate_report(flood_report, restart_report, soak_report, fleet_report,
+                     clone_report):
     """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
     baseline = _load_baseline()
 
@@ -397,7 +504,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report):
         figures[experiment_id] = round(time.perf_counter() - started, 3)
 
     report = {
-        "schema": "repro-substrate-throughput/v4",
+        "schema": "repro-substrate-throughput/v5",
         "mode": "full" if FULL else "smoke",
         "python": platform.python_version(),
         "fast_payload_bytes": FAST_BYTES,
@@ -407,6 +514,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report):
         "restart": restart_report,
         "soak": soak_report,
         "fleet": fleet_report,
+        "clone": clone_report,
         "figures_wall_clock_seconds": figures,
     }
     # Only full-mode runs overwrite the version-tracked baseline (the CI job
@@ -497,6 +605,60 @@ def test_fleet_rates_are_positive(fleet_report):
     assert fleet_report["restarts"] > 0  # the bounds-check Apache keeps dying
     assert fleet_report["server_deaths"] >= fleet_report["restarts"]
     assert fleet_report["availability"] > 0.9  # FO majority keeps serving
+
+
+def test_fleet_workers4_meets_speedup_floor(fleet_report):
+    """ISSUE 8 acceptance: the pooled fleet (4 workers) must at least double
+    the PR 6 pooled baseline.  Full mode only — smoke request counts are too
+    small to amortize the fork pool's startup."""
+    measured = fleet_report["fleet_workers4_requests_per_sec"]
+    assert measured > 0
+    if not FULL:
+        pytest.skip("full mode only: smoke sizes underfeed the worker pool")
+    floor = FLEET_W4_FLOOR_FACTOR * FLEET_W4_BASELINE_RPS
+    assert measured >= floor, (
+        f"pooled fleet only {measured} req/s at --workers {FLEET_W4_WORKERS} "
+        f"(floor {floor} req/s = {FLEET_W4_FLOOR_FACTOR}x the PR 6 baseline)"
+    )
+
+
+def test_clone_cost_flat_as_image_grows(clone_report):
+    """ISSUE 8 acceptance: growing the template image 10x must not grow the
+    per-clone cost past 1.5x (the O(1)-clone gate, measured in-process)."""
+    assert clone_report["image_large_bytes"] >= 8 * clone_report["image_small_bytes"], (
+        "the large template image is not ~10x the small one; the ratio gate "
+        "would be vacuous"
+    )
+    ratio = clone_report["clone_cost_ratio_10x_image"]
+    assert ratio is not None and ratio <= CLONE_RATIO_CEILING, (
+        f"clone cost grew {ratio}x when the image grew 10x "
+        f"(ceiling {CLONE_RATIO_CEILING}x): cloning is no longer O(touched bytes)"
+    )
+
+
+def test_clone_times_are_positive(clone_report):
+    assert clone_report["clone_seconds_small"] > 0
+    assert clone_report["clone_seconds_large"] > 0
+    assert clone_report["full_copy_seconds_large"] > 0
+
+
+def test_no_fleet_workers_regression_against_committed_baseline(fleet_report):
+    """CI gate: pooled fleet throughput must not collapse by an order of
+    magnitude against the committed v5 ``fleet.fleet_workers4_*`` columns."""
+    if not ENFORCE:
+        pytest.skip("baseline enforcement disabled (set REPRO_BENCH_ENFORCE=1)")
+    baseline = _load_baseline()
+    if not baseline or "fleet" not in baseline:
+        pytest.skip("no committed fleet baseline to compare against")
+    reference = baseline["fleet"].get("fleet_workers4_requests_per_sec")
+    if reference is None:
+        pytest.skip("committed baseline predates the pooled-fleet column")
+    measured = fleet_report["fleet_workers4_requests_per_sec"]
+    floor = reference / OOB_REGRESSION_FACTOR
+    assert measured >= floor, (
+        f"pooled fleet throughput {measured} req/s collapsed an order of "
+        f"magnitude below baseline {reference} req/s (gate floor {floor})"
+    )
 
 
 def test_no_fleet_regression_against_committed_baseline(fleet_report):

@@ -39,7 +39,7 @@ import os
 import shutil
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fleet.traffic import (
@@ -50,7 +50,8 @@ from repro.fleet.traffic import (
     make_arrival,
 )
 from repro.harness.stability import WorkloadTallySink
-from repro.servers.base import Server, bounded_history_limit
+from repro.memory.shared_image import SharedImageStore
+from repro.servers.base import ProcessImage, Server, bounded_history_limit
 from repro.telemetry.events import RequestEnd
 from repro.telemetry.session import current_session
 from repro.telemetry.sqlite import SqliteSink, merge_sqlite
@@ -64,6 +65,23 @@ DROPPED_OUTCOME = "dropped"
 #: State inherited by forked shard workers (set immediately before the pool
 #: is created, cleared after; never pickled).
 _POOL_FLEET: Optional["_FleetRun"] = None
+
+#: The most recent run's shared-image store (test hook: lets the leak test
+#: assert that the run's /dev/shm segments were actually released).
+_LAST_IMAGE_STORE: Optional[SharedImageStore] = None
+
+
+def _share_process_image(store: SharedImageStore, image: ProcessImage) -> ProcessImage:
+    """Rebind a boot image's address-space payload into shared memory.
+
+    Everything a clone restores stays bit-identical; only where the template
+    segment bytes live changes (one shared block instead of one ``bytes``
+    copy per image per process).
+    """
+    shared_ctx = store.share_image(image.ctx)
+    if shared_ctx is image.ctx:
+        return image
+    return replace(image, ctx=shared_ctx)
 
 
 class FleetTallySink(WorkloadTallySink):
@@ -449,9 +467,8 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
     session = current_session()
     deadline_hit = False
 
-    def dispatch(fleet_request: FleetRequest) -> None:
+    def dispatch(server: Server, fleet_request: FleetRequest) -> None:
         nonlocal deadline_hit
-        server = servers[fleet_request.instance]
         if deadline_hit:
             _drop(server, fleet_request)
             return
@@ -472,15 +489,31 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
                 return
         server.process(fleet_request.request)
 
-    for fleet_request in timeline:
+    # Dispatch in batches: the timeline is walked in order, but the maximal
+    # consecutive run of requests for one instance — the stretch between two
+    # virtual-time barriers, where the schedule stays on one process — pays
+    # the server lookup and the session scenario scope once, not per request.
+    # Request order (and hence every tally) is bit-identical to the
+    # one-request-at-a-time loop this replaces.
+    position = 0
+    total = len(timeline)
+    while position < total:
+        instance_index = timeline[position].instance
+        end = position + 1
+        while end < total and timeline[end].instance == instance_index:
+            end += 1
+        server = servers[instance_index]
         if session is not None:
             # Stamp each instance's events with its index as the scenario id,
             # so JSONL session exports merge in instance order like the
             # engine's scenarios do.
-            with session.scenario_scope(fleet_request.instance):
-                dispatch(fleet_request)
+            with session.scenario_scope(instance_index):
+                for offset in range(position, end):
+                    dispatch(server, timeline[offset])
         else:
-            dispatch(fleet_request)
+            for offset in range(position, end):
+                dispatch(server, timeline[offset])
+        position = end
 
     tallies: List[InstanceTally] = []
     for instance in instances:
@@ -597,6 +630,9 @@ def run_fleet(
     started = time.perf_counter()
     from repro.harness.engine import ENGINE
 
+    global _LAST_IMAGE_STORE
+    store = SharedImageStore()
+    _LAST_IMAGE_STORE = store
     groups: Dict[Tuple[str, str, str], _FleetGroup] = {}
     boot_fatal: Dict[str, bool] = {}
     for instance in instances:
@@ -618,7 +654,11 @@ def run_fleet(
             for setup_request in ENGINE.profile(instance.server).make_follow_ups():
                 template.process(setup_request)
             image = template.recheckpoint()
-        groups[key] = _FleetGroup(image=image, boot_fatal=fatal)
+        # One shared copy of the template bytes per group: clones (serial or
+        # across the fork) restore straight out of the shared block.
+        groups[key] = _FleetGroup(
+            image=_share_process_image(store, image), boot_fatal=fatal
+        )
         boot_fatal[instance.label] = fatal
         template.stop()
 
@@ -643,26 +683,33 @@ def run_fleet(
 
     count = 0 if workers is None else int(workers)
     outcomes: List[_FleetShardOutcome] = []
-    if count > 1 and len(shard_groups) > 1:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = None
-        if context is not None:
-            _POOL_FLEET = run
+    try:
+        if count > 1 and len(shard_groups) > 1:
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(count, len(shard_groups)), mp_context=context
-                ) as pool:
-                    outcomes = list(
-                        pool.map(_pool_run_fleet_shard, range(len(shard_groups)))
-                    )
-            finally:
-                _POOL_FLEET = None
-    if not outcomes:
-        outcomes = [
-            _run_fleet_shard(run, index) for index in range(len(shard_groups))
-        ]
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = None
+            if context is not None:
+                _POOL_FLEET = run
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(count, len(shard_groups)), mp_context=context
+                    ) as pool:
+                        outcomes = list(
+                            pool.map(_pool_run_fleet_shard, range(len(shard_groups)))
+                        )
+                finally:
+                    _POOL_FLEET = None
+        if not outcomes:
+            outcomes = [
+                _run_fleet_shard(run, index) for index in range(len(shard_groups))
+            ]
+    finally:
+        # Release the shared template images whether the run finished or a
+        # worker died mid-run: the parent created the /dev/shm segments, so
+        # the parent closes and unlinks them (children only ever inherited
+        # the mapping).  Nothing restores from the images past this point.
+        store.close()
 
     stats = StatsSink(flush_every=0)
     tallies: List[InstanceTally] = []

@@ -23,7 +23,10 @@ from repro.telemetry.summary import TraceSummary
 def _format_cell(mean_ms: float, stdev_percent: float) -> str:
     if mean_ms != mean_ms:  # NaN: the build failed to boot or serve
         return "unavailable"
-    return f"{mean_ms:9.3f} ms ± {stdev_percent:4.1f}%"
+    # Two significant digits for the mean and whole percents for the spread:
+    # run-to-run timer noise stays below this precision, so regenerated
+    # tables only diff when a timing genuinely moved.
+    return f"{mean_ms:9.2g} ms ± {stdev_percent:4.0f}%"
 
 
 def format_figure_table(rows: Sequence[FigureRow], title: str = "") -> str:

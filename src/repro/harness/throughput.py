@@ -76,11 +76,16 @@ def run_throughput_experiment(
         )
         service_seconds = 0.0
         legitimate_served = 0
-        for request in workload:
-            result = pool.dispatch(request)
-            service_seconds += result.elapsed_seconds
-            if not request.is_attack and result.outcome is RequestOutcome.SERVED:
-                legitimate_served += 1
+        try:
+            for request in workload:
+                result = pool.dispatch(request)
+                service_seconds += result.elapsed_seconds
+                if not request.is_attack and result.outcome is RequestOutcome.SERVED:
+                    legitimate_served += 1
+        finally:
+            # The pool's template image lives in shared memory; release it
+            # even when a dispatch raises, so no /dev/shm segment can leak.
+            pool.close()
         results[policy_name] = ThroughputResult(
             policy=policy_name,
             legitimate_served=legitimate_served,

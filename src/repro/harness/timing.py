@@ -66,8 +66,13 @@ class TimingResult:
         return all(outcome is RequestOutcome.SERVED for outcome in self.outcomes)
 
     def describe(self) -> str:
-        """Human readable one-liner, e.g. ``read: 1.98 ms ± 1.5%``."""
-        return f"{self.label}: {self.mean_ms:.3f} ms ± {self.stdev_percent:.1f}%"
+        """Human readable one-liner, e.g. ``read: 2 ms ± 2%``.
+
+        Rounded to the same precision as the figure tables (two significant
+        digits, whole percents) so recorded output does not churn on timer
+        noise.
+        """
+        return f"{self.label}: {self.mean_ms:.2g} ms ± {self.stdev_percent:.0f}%"
 
 
 def measure_request_time(

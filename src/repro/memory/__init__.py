@@ -22,6 +22,9 @@ C address space.  This package provides the Python stand-in for that substrate:
   server reimplementations program against (their "libc").
 * :mod:`~repro.memory.cstring` — strcpy/strcat/strlen/memcpy/sprintf analogues
   operating on simulated memory.
+* :class:`~repro.memory.shared_image.SharedImageStore` — places checkpoint
+  image payloads in ``multiprocessing.shared_memory`` so fleet clones map
+  one template copy instead of each duplicating it.
 """
 
 from repro.memory.address_space import AddressSpace, Segment
@@ -31,11 +34,13 @@ from repro.memory.context import MemoryContext
 from repro.memory.data_unit import DataUnit, UnitKind
 from repro.memory.object_table import ObjectTable
 from repro.memory.pointer import FatPointer
+from repro.memory.shared_image import SharedImageStore
 from repro.memory.stack import CallStack, StackFrame
 
 __all__ = [
     "AddressSpace",
     "Segment",
+    "SharedImageStore",
     "MemoryAccessor",
     "HeapAllocator",
     "MemoryContext",

@@ -46,16 +46,46 @@ class MemoryAccessor:
         address_space: AddressSpace,
         object_table: ObjectTable,
         policy: AccessPolicy,
+        decision_cache: bool = True,
     ) -> None:
         self.space = address_space
         self.table = object_table
         self.policy = policy
+        #: Decision cache: the unit whose last access fully validated.  Hot
+        #: request loops touch the same referent over and over; a hit skips
+        #: the object-table bisect (the lookup *result* is never used — our
+        #: fat pointers know their referent — so only its cost is modelled,
+        #: and the cache charges that cost to ``table.lookups`` unchanged).
+        #: Invariant: a cached unit is alive.  It is evicted by the unit's
+        #: death hook (free / frame pop / realloc) and by
+        #: :meth:`invalidate_cache` (image restores, where the table is
+        #: rebuilt without firing death hooks).
+        self._cached_unit: Optional[DataUnit] = None
+        self._cache_enabled = decision_cache and policy.performs_checks
+        if self._cache_enabled:
+            object_table.add_death_hook(self._evict_dead_unit)
         #: Label describing the source location of the access, set by callers
         #: (the servers set it to function names) so error-log events can be
         #: attributed; mirrors the paper's per-site error log.
         self.current_site = ""
         #: Request id stamped on error events, used by the propagation analysis.
         self.current_request_id: Optional[int] = None
+
+    # -- decision cache --------------------------------------------------------------
+
+    def _evict_dead_unit(self, unit: DataUnit) -> None:
+        """Death hook keeping the cache's alive-invariant (see ``__init__``)."""
+        if unit is self._cached_unit:
+            self._cached_unit = None
+
+    def invalidate_cache(self) -> None:
+        """Drop the decision cache.
+
+        Called on image restores: :meth:`ObjectTable.restore` rebuilds fresh
+        units without firing death hooks (an image swap is not a
+        program-visible unit death), so the context evicts explicitly.
+        """
+        self._cached_unit = None
 
     # -- site / request bookkeeping ------------------------------------------------
 
@@ -98,11 +128,20 @@ class MemoryAccessor:
         if not policy.performs_checks:
             return self.space.read(ptr.address, length)
         policy.note_check()
-        # The CRED-style referent lookup; see the class docstring.
-        self.table.find(ptr.address)
         unit = ptr.referent
-        if unit.alive and unit.contains_offset(ptr.offset, length):
-            return self.space.read(ptr.address, length)
+        if unit is self._cached_unit:
+            # Cache hit: the unit is alive (cache invariant); only the bounds
+            # check remains.  The skipped bisect is still charged as a lookup.
+            self.table.lookups += 1
+            if unit.contains_offset(ptr.offset, length):
+                return self.space.read(ptr.address, length)
+        else:
+            # The CRED-style referent lookup; see the class docstring.
+            self.table.find(ptr.address)
+            if unit.alive and unit.contains_offset(ptr.offset, length):
+                if self._cache_enabled:
+                    self._cached_unit = unit
+                return self.space.read(ptr.address, length)
         return self._invalid_read(ptr, length)
 
     def _invalid_read(self, ptr: FatPointer, length: int) -> bytes:
@@ -170,12 +209,20 @@ class MemoryAccessor:
             self.space.write(ptr.address, data)
             return
         policy.note_check()
-        # The CRED-style referent lookup; see the class docstring.
-        self.table.find(ptr.address)
         unit = ptr.referent
-        if unit.alive and unit.contains_offset(ptr.offset, len(data)):
-            self.space.write(ptr.address, data)
-            return
+        if unit is self._cached_unit:
+            self.table.lookups += 1
+            if unit.contains_offset(ptr.offset, len(data)):
+                self.space.write(ptr.address, data)
+                return
+        else:
+            # The CRED-style referent lookup; see the class docstring.
+            self.table.find(ptr.address)
+            if unit.alive and unit.contains_offset(ptr.offset, len(data)):
+                if self._cache_enabled:
+                    self._cached_unit = unit
+                self.space.write(ptr.address, data)
+                return
         self._invalid_write(ptr, data)
 
     def _invalid_write(self, ptr: FatPointer, data: bytes) -> None:
@@ -270,10 +317,17 @@ class MemoryAccessor:
         if not policy.performs_checks:
             return self.space.read_byte(ptr.address)
         policy.note_check()
-        self.table.find(ptr.address)
         unit = ptr.referent
-        if unit.alive and 0 <= ptr.offset < unit.size:
-            return self.space.read_byte(ptr.address)
+        if unit is self._cached_unit:
+            self.table.lookups += 1
+            if 0 <= ptr.offset < unit.size:
+                return self.space.read_byte(ptr.address)
+        else:
+            self.table.find(ptr.address)
+            if unit.alive and 0 <= ptr.offset < unit.size:
+                if self._cache_enabled:
+                    self._cached_unit = unit
+                return self.space.read_byte(ptr.address)
         return self._invalid_read(ptr, 1)[0]
 
     def write_byte(self, ptr: FatPointer, value: int) -> None:
@@ -283,11 +337,19 @@ class MemoryAccessor:
             self.space.write_byte(ptr.address, value)
             return
         policy.note_check()
-        self.table.find(ptr.address)
         unit = ptr.referent
-        if unit.alive and 0 <= ptr.offset < unit.size:
-            self.space.write_byte(ptr.address, value)
-            return
+        if unit is self._cached_unit:
+            self.table.lookups += 1
+            if 0 <= ptr.offset < unit.size:
+                self.space.write_byte(ptr.address, value)
+                return
+        else:
+            self.table.find(ptr.address)
+            if unit.alive and 0 <= ptr.offset < unit.size:
+                if self._cache_enabled:
+                    self._cached_unit = unit
+                self.space.write_byte(ptr.address, value)
+                return
         self._invalid_write(ptr, bytes([value & 0xFF]))
 
     def read_int(self, ptr: FatPointer, size: int = 4, signed: bool = True) -> int:
@@ -337,11 +399,21 @@ class MemoryAccessor:
         return ptr.remaining()
 
     def _note_span_check(self, ptr: FatPointer) -> None:
-        """One policy check + one CRED-style table lookup, paid per span."""
+        """One policy check + one CRED-style table lookup, paid per span.
+
+        Participates in the decision cache: span callers only invoke this
+        after ``scan_span(ptr) > 0``, which guarantees the referent is alive
+        and the span in bounds, so the unit may be cached directly.
+        """
         policy = self.policy
         if policy.performs_checks:
             policy.note_check()
-            self.table.find(ptr.address)
+            if ptr.referent is self._cached_unit:
+                self.table.lookups += 1
+            else:
+                self.table.find(ptr.address)
+                if self._cache_enabled:
+                    self._cached_unit = ptr.referent
 
     @property
     def batches_runs(self) -> bool:
@@ -404,21 +476,28 @@ class MemoryAccessor:
         # PERFORM_RAW: the unchecked behaviour, performed deliberately.
         self.space.write(ptr.address, data)
 
-    def read_span(self, ptr: FatPointer, length: int) -> bytes:
+    def read_span(self, ptr: FatPointer, length: int) -> "bytes | memoryview":
         """Bulk read: one policy decision per safe span *and* per invalid run.
 
         Alternates between raw reads of in-bounds spans and batched policy
         continuations for the invalid runs between them; policies without run
         support fall back to one decision per byte.
+
+        Zero-copy contract: when the whole request fits one safe span the
+        returned value is a read-only :class:`memoryview` aliasing the live
+        segment (valid until the next store to the range); other paths return
+        ``bytes``.  Callers that retain the result across further substrate
+        activity must copy (``bytes(result)`` — a no-op when it already is
+        ``bytes``).
         """
         if length <= 0:
             return b""
         # Fast path for the dominant case: the whole request inside one safe
-        # span — no accumulator, no extra copy.
+        # span — no copy at all, the caller gets a view of the segment.
         span = min(self.scan_span(ptr), length)
         if span == length:
             self._note_span_check(ptr)
-            return self.space.read(ptr.address, length)
+            return self.space.read_view(ptr.address, length)
         if not self.batches_runs:
             if span <= 0:
                 return bytes(self.read_byte(ptr + i) for i in range(length))
@@ -432,7 +511,7 @@ class MemoryAccessor:
             span = min(self.scan_span(here), length - pos)
             if span > 0:
                 self._note_span_check(here)
-                out += self.space.read(here.address, span)
+                out += self.space.read_view(here.address, span)
                 pos += span
                 continue
             run = self._invalid_run_length(here, length - pos)
@@ -440,12 +519,19 @@ class MemoryAccessor:
             pos += run
         return bytes(out)
 
-    def write_span(self, ptr: FatPointer, data: bytes) -> None:
+    def write_span(self, ptr: FatPointer, data: "bytes | memoryview") -> None:
         """Bulk write: one policy decision per safe span *and* per invalid run.
 
         The write-side counterpart of :meth:`read_span`; this is the path
         that absorbs an attack flood's out-of-bounds suffix in one policy
         call per span instead of one per byte.
+
+        Accepts any bytes-like ``data`` — in particular the views
+        :meth:`read_span` / :meth:`read_span_until` return, which is how the
+        cstring copy pipeline moves bytes without materializing them.  A view
+        over simulated memory must not overlap the destination range (the
+        cstring helpers guarantee this by capping chunks at the pointer
+        distance and, for out-of-bounds streaming, requiring distinct units).
         """
         if not data:
             return
@@ -456,6 +542,11 @@ class MemoryAccessor:
             self._note_span_check(ptr)
             self.space.write(ptr.address, data)
             return
+        if not isinstance(data, memoryview):
+            # The split paths below slice ``data`` per span/run; a view makes
+            # those slices free.  (Policy hooks only measure, iterate, or
+            # re-slice the run payloads, so handing them sub-views is safe.)
+            data = memoryview(data)
         if not self.batches_runs:
             if span > 0:
                 self._note_span_check(ptr)
@@ -476,14 +567,19 @@ class MemoryAccessor:
             self._invalid_write_run(here, data[pos:pos + run])
             pos += run
 
-    def read_span_until(self, ptr: FatPointer, value: int, limit: int) -> "tuple[bytes, int]":
+    def read_span_until(
+        self, ptr: FatPointer, value: int, limit: int
+    ) -> "tuple[bytes | memoryview, int]":
         """Read up to and including the first ``value``; one check per span/run.
 
         Returns ``(data, index)`` where ``index`` is the offset of ``value``
         relative to ``ptr`` (or -1 on a miss) and ``data`` holds the bytes up
         to and including the hit.  This is the ``strcpy``/``read_c_string``
         shape: locating the terminator and fetching the bytes is a single
-        span-sized read per safe span.
+        span-sized read per safe span.  When the scan resolves inside the
+        first safe span, ``data`` is a read-only :class:`memoryview` of the
+        live segment (same zero-copy contract as :meth:`read_span`);
+        multi-span scans return ``bytes``.
 
         Beyond the safe span the scan continues through invalid runs via the
         policy's ``scan_invalid_read_run`` hook (failure-oblivious and
@@ -502,8 +598,8 @@ class MemoryAccessor:
             # The follow-up read charges the raw-access counter for these bytes.
             index = self.space.find_byte(ptr.address, target, span, charge_reads=False)
             if index >= 0:
-                return self.space.read(ptr.address, index + 1), index
-            first = self.space.read(ptr.address, span)
+                return self.space.read_view(ptr.address, index + 1), index
+            first = self.space.read_view(ptr.address, span)
             if span == limit:
                 return first, -1
         else:
@@ -521,7 +617,7 @@ class MemoryAccessor:
                 self._note_span_check(here)
                 index = self.space.find_byte(here.address, target, span, charge_reads=False)
                 length = index + 1 if index >= 0 else span
-                out += self.space.read(here.address, length)
+                out += self.space.read_view(here.address, length)
                 if index >= 0:
                     return bytes(out), pos + index
                 pos += span

@@ -50,6 +50,21 @@ class Segment:
     data: bytearray
     #: Indices of DIRTY_BLOCK-sized blocks written since the last checkpoint.
     dirty: Set[int] = field(default_factory=set)
+    #: Indices of blocks *ever* written (folded in at every checkpoint and
+    #: restore).  Invariant: any block not in ``touched | dirty`` is still
+    #: all zeros, because segments start zero-filled and every store goes
+    #: through :class:`AddressSpace`, which marks blocks dirty.  Restores can
+    #: therefore skip untouched blocks entirely — this is what makes cloning
+    #: a boot image into a fresh space O(touched bytes), not O(segment size).
+    touched: Set[int] = field(default_factory=set)
+    #: Read-only view over ``data``.  Zero-copy reads hand out slices of this
+    #: view; it stays valid for the segment's lifetime because segments never
+    #: resize.  (Kept out of ``__eq__``: identity of the backing buffer is
+    #: what matters, and ``data`` is already compared.)
+    view: memoryview = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.view = memoryview(self.data).toreadonly()
 
     @property
     def size(self) -> int:
@@ -74,15 +89,45 @@ class Segment:
 class AddressSpaceCheckpoint:
     """Immutable snapshot of every mapped segment plus the access counters.
 
-    ``segments`` maps name to (base, contents); the payloads are ``bytes``, so
-    a checkpoint can be shared between processes and restored into any
+    ``segments`` maps name to (base, contents); the payloads are bytes-like
+    (``bytes``, or read-only ``memoryview``s when the checkpoint has been
+    placed in shared memory by :class:`~repro.memory.shared_image.SharedImageStore`),
+    so a checkpoint can be shared between processes and restored into any
     address space (cloning a pre-forked child reuses one parent snapshot).
+
+    ``touched_blocks`` records, per segment, the sorted DIRTY_BLOCK indices
+    that have ever been written when the checkpoint was taken.  Every block
+    outside the list is all zeros in the payload, which lets a restore into
+    another space skip it when that space knows the block is zero on its side
+    too.  Empty (the default) means "unknown": restores then fall back to the
+    full copy.
     """
 
     epoch: int
     segments: Tuple[Tuple[str, int, bytes], ...]
     raw_reads: int
     raw_writes: int
+    touched_blocks: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+
+
+def _block_runs(blocks):
+    """Yield maximal (start_block, end_block) runs from sorted block indices.
+
+    Coalescing adjacent blocks turns the per-block Python loop into one slice
+    copy per contiguous run — boot images touch long contiguous stretches, so
+    a sparse restore is typically a handful of memcpys.
+    """
+    iterator = iter(blocks)
+    try:
+        start = prev = next(iterator)
+    except StopIteration:
+        return
+    for block in iterator:
+        if block != prev + 1:
+            yield start, prev + 1
+            start = block
+        prev = block
+    yield start, prev + 1
 
 
 class AddressSpace:
@@ -180,10 +225,29 @@ class AddressSpace:
             raise SegmentationFault(address)
         self.raw_reads += length
         start = address - segment.base
-        return bytes(segment.data[start : start + length])
+        return segment.view[start : start + length].tobytes()
 
-    def write(self, address: int, data: bytes) -> None:
-        """Write raw bytes; fault if any byte is unmapped."""
+    def read_view(self, address: int, length: int) -> memoryview:
+        """Zero-copy :meth:`read`: a read-only view of the live segment bytes.
+
+        Same faulting behaviour and raw-access accounting as :meth:`read`,
+        but no copy is made.  The view aliases the segment, so it reflects —
+        and is only valid until — subsequent stores to the range (and
+        :meth:`restore`).  Callers that retain the data across further
+        substrate activity must copy (``bytes(view)``); that copy is the
+        telemetry/API boundary.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        segment = self.find_segment(address, max(length, 1))
+        if segment is None:
+            raise SegmentationFault(address)
+        self.raw_reads += length
+        start = address - segment.base
+        return segment.view[start : start + length]
+
+    def write(self, address: int, data: "bytes | bytearray | memoryview") -> None:
+        """Write raw bytes (any bytes-like); fault if any byte is unmapped."""
         if not data:
             return
         segment = self.find_segment(address, len(data))
@@ -261,6 +325,7 @@ class AddressSpace:
         """
         epoch = next(_checkpoint_epochs)
         for segment in self._ordered:
+            segment.touched |= segment.dirty
             segment.dirty.clear()
         self._clean_epoch = epoch
         return AddressSpaceCheckpoint(
@@ -271,6 +336,10 @@ class AddressSpace:
             ),
             raw_reads=self.raw_reads,
             raw_writes=self.raw_writes,
+            touched_blocks=tuple(
+                (segment.name, tuple(sorted(segment.touched)))
+                for segment in self._ordered
+            ),
         )
 
     def restore(self, cp: AddressSpaceCheckpoint) -> None:
@@ -278,14 +347,20 @@ class AddressSpace:
 
         When the space is clean with respect to ``cp`` (the common restart
         loop: checkpoint once at boot, restore on every death), only the
-        dirty blocks are copied.  Any other space with the same segment
-        layout takes a full copy — and is clean with respect to ``cp``
-        afterwards, so cloned process images get the fast path on *their*
-        subsequent restores too.  Segments mapped after the checkpoint are
-        unmapped; a checkpointed segment whose size changed is a substrate
-        bug and raises.
+        dirty blocks are copied.  Restoring a checkpoint taken elsewhere —
+        cloning a pre-forked worker from a template boot image — copies only
+        the blocks that could differ: the checkpoint's touched blocks plus
+        this space's own touched/dirty blocks (everything else is zero on
+        both sides).  That makes clone cost O(touched bytes), independent of
+        segment size.  Checkpoints without touched-block data take the full
+        copy.  Either way the space is clean with respect to ``cp``
+        afterwards, so cloned process images get the dirty-block fast path on
+        *their* subsequent restores too.  Segments mapped after the
+        checkpoint are unmapped; a checkpointed segment whose size changed is
+        a substrate bug and raises.
         """
         fast = self._clean_epoch == cp.epoch
+        touched_map = dict(cp.touched_blocks)
         wanted = {name for name, _base, _data in cp.segments}
         if not fast and any(segment.name not in wanted for segment in self._ordered):
             self._ordered = [s for s in self._ordered if s.name in wanted]
@@ -296,14 +371,28 @@ class AddressSpace:
                 raise ValueError(
                     f"cannot restore checkpoint: segment {name!r} layout changed"
                 )
+            data = segment.data
+            cp_touched = touched_map.get(name)
             if fast:
-                data = segment.data
-                for block in segment.dirty:
-                    start = block << _DIRTY_SHIFT
-                    end = start + DIRTY_BLOCK
+                for start_block, end_block in _block_runs(sorted(segment.dirty)):
+                    start = start_block << _DIRTY_SHIFT
+                    end = end_block << _DIRTY_SHIFT
+                    data[start:end] = contents[start:end]
+            elif cp_touched is not None:
+                # Sparse cross-space restore: blocks untouched on both sides
+                # are zero on both sides and need no copy.
+                stale = set(cp_touched) | segment.touched | segment.dirty
+                for start_block, end_block in _block_runs(sorted(stale)):
+                    start = start_block << _DIRTY_SHIFT
+                    end = end_block << _DIRTY_SHIFT
                     data[start:end] = contents[start:end]
             else:
-                segment.data[:] = contents
+                data[:] = contents
+            if cp_touched is not None:
+                segment.touched = set(cp_touched)
+            else:
+                # Unknown provenance: assume every block may be non-zero.
+                segment.touched = set(range(-(-segment.size // DIRTY_BLOCK)))
             segment.dirty.clear()
         self.raw_reads = cp.raw_reads
         self.raw_writes = cp.raw_writes

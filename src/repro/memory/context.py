@@ -58,6 +58,10 @@ class MemoryContext:
         quickstart examples demonstrate the paper's contribution by default.
     heap_size / stack_size / globals_size:
         Segment sizes, forwarded to :class:`~repro.memory.address_space.AddressSpace`.
+    decision_cache:
+        Whether the accessor may cache the last fully-validated referent
+        (default on; the cached/uncached equivalence property turns it off
+        for its reference context).
     """
 
     def __init__(
@@ -66,6 +70,7 @@ class MemoryContext:
         heap_size: int = 4 * 1024 * 1024,
         stack_size: int = 256 * 1024,
         globals_size: int = 64 * 1024,
+        decision_cache: bool = True,
     ) -> None:
         self.policy = policy if policy is not None else FailureObliviousPolicy()
         #: The unified telemetry bus for this process image (owned by the
@@ -77,7 +82,9 @@ class MemoryContext:
         self.table = ObjectTable()
         self.heap = HeapAllocator(self.space, self.table, bus=self.bus)
         self.stack = CallStack(self.space, self.table)
-        self.mem = MemoryAccessor(self.space, self.table, self.policy)
+        self.mem = MemoryAccessor(
+            self.space, self.table, self.policy, decision_cache=decision_cache
+        )
         # Policies holding per-unit side state (the boundless store) reclaim
         # it at unit death.  The object table is the single definition of
         # death — heap frees and stack frame pops both unregister there — so
@@ -195,6 +202,10 @@ class MemoryContext:
                 f"{self.policy.name!r} context"
             )
         units_by_base = self.table.restore(image.table)
+        # The table rebuild does not fire death hooks (an image swap is not a
+        # program-visible unit death), so the accessor's decision cache —
+        # which may hold a pre-restore unit — is evicted explicitly.
+        self.mem.invalidate_cache()
         self.space.restore(image.space)
         self.heap.restore(image.heap, units_by_base)
         self.stack.restore(image.stack, units_by_base)

@@ -253,18 +253,18 @@ def strcmp(mem: MemoryAccessor, a: FatPointer, b: FatPointer, limit: int = SCAN_
         span = min(mem.scan_span(pa), mem.scan_span(pb), limit - scanned, chunk)
         chunk = min(chunk * 4, CHUNK)
         if span > 1:
+            # read_span returns zero-copy views here; equality and membership
+            # work on views directly, so nothing is materialized.
             da = mem.read_span(pa, span)
             db = mem.read_span(pb, span)
             if da == db:
-                nul = da.find(0)
-                if nul >= 0:
+                if 0 in da:
                     return 0
                 pa, pb = pa + span, pb + span
                 scanned += span
                 continue
             diff = next(i for i in range(span) if da[i] != db[i])
-            nul = da.find(0, 0, diff)
-            if nul >= 0:  # both strings end before the first difference
+            if 0 in da[:diff]:  # both strings end before the first difference
                 return 0
             return -1 if da[diff] < db[diff] else 1
         ba = mem.read_byte(pa)
@@ -308,6 +308,10 @@ def read_c_string(mem: MemoryAccessor, src: FatPointer, limit: int = SCAN_LIMIT)
         # per-byte-only policies, one-byte spans).
         data, nul = mem.read_span_until(ptr, 0, limit - scanned)
         if nul >= 0:
+            if not out:
+                # Whole string in the first span: one copy, view to bytes —
+                # this is the API boundary where the caller takes ownership.
+                return bytes(data[:nul])
             out += data[:nul]
             return bytes(out)
         if data:

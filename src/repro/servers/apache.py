@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.core.policy import AccessPolicy
 from repro.errors import RequestResult
+from repro.memory.shared_image import SharedImageStore
 from repro.servers.base import Request, Response, Server, ServerError
 
 #: Number of capture offset pairs the stack buffer has room for (the real
@@ -265,6 +266,10 @@ class ChildProcessPool:
         self.restart_seconds = 0.0
         self._next_child = 0
         self._template_image = None
+        # One shared-memory copy of the template image for every child and
+        # replacement fork (mirrors the fleet scheduler; degrades to plain
+        # bytes when shared memory is unavailable).  Released by close().
+        self._image_store = SharedImageStore()
         for _ in range(pool_size):
             self.children.append(self._fork_child())
 
@@ -276,10 +281,23 @@ class ChildProcessPool:
             child.start()
         elif self._template_image is None:
             child.start()
-            self._template_image = child.boot_image
+            image = child.boot_image
+            shared_ctx = self._image_store.share_image(image.ctx)
+            if shared_ctx is not image.ctx:
+                image = replace(image, ctx=shared_ctx)
+            self._template_image = image
         else:
             child.adopt_image(self._template_image)
         return child
+
+    def close(self) -> None:
+        """Release the shared template image (idempotent).
+
+        Children stay usable for queries afterwards, but no further
+        replacement fork may restore from the template.
+        """
+        self._template_image = None
+        self._image_store.close()
 
     def dispatch(self, request: Request) -> RequestResult:
         """Serve one request on the next child, replacing it if it dies."""

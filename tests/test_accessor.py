@@ -201,3 +201,68 @@ class TestVariantSemantics:
         buf = ctx.malloc(8)
         ctx.mem.write(buf, b"01234567")
         assert ctx.mem.read_byte(buf + 8) == ord("0")
+
+
+class TestDecisionCache:
+    """The per-accessor referent cache: hits skip the table bisect but keep
+    every observable counter — and the cache can never outlive its unit."""
+
+    def test_repeat_access_charges_one_check_and_lookup_each(self, fo_ctx):
+        buf = fo_ctx.malloc(16)
+        fo_ctx.mem.read(buf, 4)  # fill the cache
+        assert fo_ctx.mem._cached_unit is buf.referent
+        lookups_before = fo_ctx.table.lookups
+        checks_before = fo_ctx.policy.stats.checks_performed
+        fo_ctx.mem.read(buf, 4)
+        fo_ctx.mem.write(buf + 8, b"zz")
+        fo_ctx.mem.read_byte(buf + 1)
+        fo_ctx.mem.write_byte(buf + 2, 7)
+        # One check and one lookup per access, exactly as without the cache.
+        assert fo_ctx.policy.stats.checks_performed == checks_before + 4
+        assert fo_ctx.table.lookups == lookups_before + 4
+
+    def test_cache_hit_still_detects_out_of_bounds(self, fo_ctx):
+        buf = fo_ctx.malloc(8)
+        fo_ctx.mem.write(buf, b"x")  # cache the unit
+        neighbour = fo_ctx.malloc(8)
+        canary = b"CANARY!!"
+        fo_ctx.mem.write(neighbour, canary)
+        fo_ctx.mem.write(buf + 8, b"overflow")  # cached unit, invalid offset
+        assert fo_ctx.mem.read(neighbour, 8) == canary
+        assert fo_ctx.error_log.total_recorded > 0
+
+    def test_free_evicts_the_cached_unit(self, fo_ctx):
+        buf = fo_ctx.malloc(8)
+        fo_ctx.mem.write(buf, b"live")
+        fo_ctx.free(buf)
+        # A use-after-free must be classified as such, not served from cache.
+        fo_ctx.mem.write(buf, b"dead")
+        events = list(fo_ctx.error_log.events())
+        assert events and events[-1].kind is ErrorKind.USE_AFTER_FREE
+
+    def test_restore_invalidates_the_cache(self, fo_ctx):
+        buf = fo_ctx.malloc(8)
+        fo_ctx.mem.write(buf, b"pre")
+        image = fo_ctx.checkpoint()
+        fo_ctx.mem.write(buf, b"mid")
+        fo_ctx.restore(image)
+        assert fo_ctx.mem._cached_unit is None
+        # Accesses after the restore behave exactly like a cold accessor.
+        assert fo_ctx.mem.read(buf, 3) == b"pre"
+
+    def test_cache_disabled_context_never_caches(self):
+        from repro.core.policies import FailureObliviousPolicy
+
+        ctx = MemoryContext(FailureObliviousPolicy(), decision_cache=False)
+        buf = ctx.malloc(8)
+        ctx.mem.write(buf, b"a")
+        ctx.mem.read(buf, 1)
+        assert ctx.mem._cached_unit is None
+
+    def test_standard_policy_does_not_cache(self):
+        from repro.core.policies import StandardPolicy
+
+        ctx = MemoryContext(StandardPolicy())
+        buf = ctx.malloc(8)
+        ctx.mem.write(buf, b"a")
+        assert ctx.mem._cached_unit is None

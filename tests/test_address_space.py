@@ -121,3 +121,90 @@ class TestRawAccess:
     def test_memory_initially_zeroed(self):
         space = AddressSpace()
         assert space.read(HEAP_BASE, 64) == b"\x00" * 64
+
+
+class TestReadView:
+    def test_view_matches_read_and_is_readonly(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE + 8, b"payload")
+        view = space.read_view(HEAP_BASE + 8, 7)
+        assert isinstance(view, memoryview)
+        assert view == b"payload"
+        assert view.readonly
+        with pytest.raises(TypeError):
+            view[0] = 0
+
+    def test_view_aliases_live_memory(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE, b"before")
+        view = space.read_view(HEAP_BASE, 6)
+        space.write(HEAP_BASE, b"after!")
+        assert bytes(view) == b"after!"
+
+    def test_view_charges_raw_reads(self):
+        space = AddressSpace()
+        before = space.raw_reads
+        space.read_view(HEAP_BASE, 32)
+        assert space.raw_reads == before + 32
+
+    def test_view_faults_like_read(self):
+        space = AddressSpace(heap_size=64)
+        with pytest.raises(SegmentationFault):
+            space.read_view(HEAP_BASE, 65)
+        with pytest.raises(ValueError):
+            space.read_view(HEAP_BASE, -1)
+
+
+class TestTouchedBlockRestore:
+    def test_checkpoint_records_touched_blocks(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE, b"x")
+        space.write(HEAP_BASE + 5000, b"y")
+        cp = space.checkpoint()
+        touched = dict(cp.touched_blocks)
+        assert touched["heap"] == (0, 1)
+
+    def test_clone_into_fresh_space_is_sparse_and_exact(self):
+        parent = AddressSpace()
+        parent.write(HEAP_BASE + 123, b"template state")
+        parent.write(STACK_BASE + 9000, b"frame")
+        cp = parent.checkpoint()
+
+        clone = AddressSpace()
+        clone.restore(cp)
+        assert clone.read(HEAP_BASE + 123, 14) == b"template state"
+        assert clone.read(STACK_BASE + 9000, 5) == b"frame"
+        # The clone's full contents equal the checkpoint's, including the
+        # untouched (skipped) blocks.
+        for name, _base, contents in cp.segments:
+            assert bytes(clone.segment(name).data) == bytes(contents)
+
+    def test_clone_overwrites_its_own_prior_writes(self):
+        cp = AddressSpace().checkpoint()
+        dirty_space = AddressSpace()
+        # Writes in blocks the checkpoint never touched must still be undone.
+        dirty_space.write(HEAP_BASE + 100_000, b"stale garbage")
+        dirty_space.restore(cp)
+        assert dirty_space.read(HEAP_BASE + 100_000, 13) == b"\x00" * 13
+
+    def test_restore_sequence_across_checkpoints(self):
+        space = AddressSpace()
+        space.write(HEAP_BASE, b"AAAA")
+        cp_a = space.checkpoint()
+        space.write(HEAP_BASE + 8192, b"BBBB")
+        space.checkpoint()  # cp_b; epoch now differs from cp_a
+        space.restore(cp_a)  # cross-epoch restore takes the sparse path
+        assert space.read(HEAP_BASE, 4) == b"AAAA"
+        assert space.read(HEAP_BASE + 8192, 4) == b"\x00" * 4
+
+    def test_checkpoint_without_touched_data_full_copies(self):
+        import dataclasses
+
+        space = AddressSpace()
+        space.write(HEAP_BASE, b"live")
+        cp = dataclasses.replace(space.checkpoint(), touched_blocks=())
+        other = AddressSpace()
+        other.write(HEAP_BASE + 50_000, b"noise")
+        other.restore(cp)
+        assert other.read(HEAP_BASE, 4) == b"live"
+        assert other.read(HEAP_BASE + 50_000, 5) == b"\x00" * 5

@@ -139,3 +139,106 @@ class TestAllocatorProperties:
         spans = sorted((p.referent.base, p.referent.end) for p in live)
         for (base_a, end_a), (base_b, _end_b) in zip(spans, spans[1:]):
             assert end_a <= base_b
+
+
+# -- decision-cache equivalence --------------------------------------------------
+
+_cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=32)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("realloc"), st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=1, max_value=32)),
+        st.tuples(st.just("write"), st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=-8, max_value=40),
+                  st.binary(min_size=1, max_size=16)),
+        st.tuples(st.just("read"), st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=-8, max_value=40),
+                  st.integers(min_value=1, max_value=16)),
+        st.tuples(st.just("checkpoint")),
+        st.tuples(st.just("restore")),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestDecisionCacheEquivalence:
+    """The accessor's referent cache is purely an optimization.
+
+    Cached and uncached contexts must produce identical telemetry streams,
+    error-log answers, policy statistics (``checks_performed`` included — the
+    cache still notes one check per access) and table lookup counts, across
+    free / realloc / checkpoint / restore cycles — exactly the edges where a
+    stale cache entry would diverge.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(policy_name=st.sampled_from(["standard", "bounds-check",
+                                        "failure-oblivious", "boundless", "redirect"]),
+           ops=_cache_ops)
+    def test_cached_equals_uncached(self, policy_name, ops):
+        from tests.conftest import POLICY_CLASSES
+        from repro.telemetry.sinks import CounterSink
+
+        observations = []
+        for cached in (False, True):
+            ctx = MemoryContext(POLICY_CLASSES[policy_name](), decision_cache=cached,
+                                heap_size=32 * 1024, stack_size=8 * 1024,
+                                globals_size=4 * 1024)
+            counters = ctx.bus.attach(CounterSink())
+            slots = [ctx.malloc(16, name="seed")]
+            image = ctx.checkpoint()
+            trace = []
+            for op in ops:
+                kind = op[0]
+                try:
+                    if kind == "malloc":
+                        slots.append(ctx.malloc(op[1], name="unit"))
+                        trace.append("malloc")
+                    elif kind == "free":
+                        ctx.free(slots[op[1] % len(slots)])
+                        trace.append("free")
+                    elif kind == "realloc":
+                        index = op[1] % len(slots)
+                        slots[index] = ctx.realloc(slots[index], op[2])
+                        trace.append("realloc")
+                    elif kind == "write":
+                        ctx.mem.write(slots[op[1] % len(slots)] + op[2], op[3])
+                        trace.append("write")
+                    elif kind == "read":
+                        trace.append(bytes(ctx.mem.read(
+                            slots[op[1] % len(slots)] + op[2], op[3])))
+                    elif kind == "checkpoint":
+                        image = ctx.checkpoint()
+                        trace.append("checkpoint")
+                    else:
+                        ctx.restore(image)
+                        trace.append("restore")
+                except Exception as exc:  # every divergence shows up in the trace
+                    trace.append(("raised", type(exc).__name__))
+            log = ctx.error_log
+            observations.append({
+                "trace": trace,
+                "heap": bytes(ctx.space.heap.data),
+                "stats": ctx.policy.stats.as_dict(),
+                "lookups": ctx.table.lookups,
+                "raw_reads": ctx.space.raw_reads,
+                "raw_writes": ctx.space.raw_writes,
+                "log_total": log.total_recorded,
+                "log_by_site": log.count_by_site(),
+                "log_by_kind": log.count_by_kind(),
+                "log_reads": log.count_reads(),
+                "log_writes": log.count_writes(),
+                "log_summary": log.summary(),
+                "counters": {
+                    "by_type": counters.by_type,
+                    "invalid_total": counters.invalid_total,
+                    "invalid_by_kind": counters.invalid_by_kind,
+                    "manufactured_bytes": counters.manufactured_bytes,
+                    "discarded_bytes": counters.discarded_bytes,
+                    "stored_bytes": counters.stored_bytes,
+                    "redirected_accesses": counters.redirected_accesses,
+                },
+            })
+        assert observations[0] == observations[1]

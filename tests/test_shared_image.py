@@ -1,0 +1,152 @@
+"""Shared-memory image lifecycle: sharing is invisible, cleanup is guaranteed.
+
+The fleet scheduler and the Apache pre-fork pool place template checkpoint
+payloads in ``multiprocessing.shared_memory`` so clones restore from one
+shared copy.  Two things must hold:
+
+* sharing never changes what a restore produces (bit-identical payloads); and
+* the ``/dev/shm`` segments are always released — on normal completion, on
+  an exception mid-run, and even when a pool worker is killed outright.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.policies import FailureObliviousPolicy
+from repro.fleet import scheduler
+from repro.fleet.scheduler import InstanceSpec, run_fleet
+from repro.memory.context import MemoryContext
+from repro.memory.shared_image import SharedImageStore
+from repro.servers.apache import ChildProcessPool
+from repro.workloads.attacks import apache_vulnerable_config
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_entries() -> set:
+    """Current /dev/shm entries (empty set when the platform has none)."""
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:
+        return set()
+
+
+def _supports_shm() -> bool:
+    return os.path.isdir(SHM_DIR)
+
+
+class TestSharedImageStore:
+    def test_shared_restore_is_bit_identical(self):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        buf = ctx.malloc(64)
+        ctx.mem.write(buf, b"template state, to be cloned")
+        image = ctx.checkpoint()
+        with SharedImageStore() as store:
+            shared = store.share_image(image)
+            ctx.mem.write(buf, b"scribbled over by the clone!")
+            ctx.restore(shared)
+            assert ctx.mem.read(buf, 28) == b"template state, to be cloned"
+
+    def test_share_space_payloads_equal_original(self):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        buf = ctx.malloc(32)
+        ctx.mem.write(buf, b"payload bytes")
+        cp = ctx.space.checkpoint()
+        with SharedImageStore() as store:
+            shared = store.share_space(cp)
+            for (name, base, contents), (sname, sbase, scontents) in zip(
+                cp.segments, shared.segments
+            ):
+                assert (name, base) == (sname, sbase)
+                assert bytes(scontents) == bytes(contents)
+                assert isinstance(scontents, memoryview) and scontents.readonly
+
+    @pytest.mark.skipif(not os.path.isdir(SHM_DIR), reason="no /dev/shm")
+    def test_close_unlinks_the_segment(self):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        ctx.malloc(32)
+        store = SharedImageStore()
+        store.share_image(ctx.checkpoint())
+        names = list(store.names)
+        assert names and all(
+            os.path.exists(os.path.join(SHM_DIR, name)) for name in names
+        )
+        store.close()
+        assert store.closed and not store.active
+        for name in names:
+            assert not os.path.exists(os.path.join(SHM_DIR, name))
+        store.close()  # idempotent
+
+    def test_sharing_an_already_shared_image_passes_through(self):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        ctx.malloc(16)
+        image = ctx.checkpoint()
+        with SharedImageStore() as store:
+            shared = store.share_image(image)
+            assert store.share_image(shared) is shared
+
+    def test_closed_store_passes_images_through(self):
+        ctx = MemoryContext(FailureObliviousPolicy())
+        image = ctx.checkpoint()
+        store = SharedImageStore()
+        store.close()
+        assert store.share_image(image) is image
+
+
+class TestPoolAndSchedulerCleanup:
+    def test_child_pool_close_releases_template(self):
+        before = _shm_entries()
+        pool = ChildProcessPool(
+            FailureObliviousPolicy, pool_size=2, config=apache_vulnerable_config()
+        )
+        from repro.servers.base import Request
+
+        pool.dispatch(Request(kind="GET", payload=b"/index.html"))
+        pool.close()
+        assert _shm_entries() <= before
+        # A dispatch after close re-forks through the closed store and still
+        # serves; it simply no longer uses shared memory.
+        pool.dispatch(Request(kind="GET", payload=b"/index.html"))
+        pool.close()
+        assert _shm_entries() <= before
+
+    def test_run_fleet_closes_its_store(self):
+        before = _shm_entries()
+        result = run_fleet(
+            [InstanceSpec("apache", "failure-oblivious", count=2)],
+            total_requests=40,
+            seed=5,
+            workers=0,
+        )
+        assert result.instances
+        store = scheduler._LAST_IMAGE_STORE
+        assert store is not None and store.closed
+        assert _shm_entries() <= before
+
+    @pytest.mark.skipif(not _supports_shm(), reason="no /dev/shm")
+    def test_worker_killed_mid_run_leaks_nothing(self, monkeypatch):
+        """SIGKILL a pool worker mid-shard: run_fleet raises, /dev/shm stays clean."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        def _die(run, shard_index):
+            # Runs inside the forked worker (the fork inherits the patched
+            # module), so only the pool child dies — never the test process.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(scheduler, "_run_fleet_shard", _die)
+        before = _shm_entries()
+        with pytest.raises(BrokenProcessPool):
+            run_fleet(
+                [InstanceSpec("apache", "failure-oblivious", count=2)],
+                total_requests=40,
+                seed=5,
+                workers=2,
+                shards=2,
+            )
+        store = scheduler._LAST_IMAGE_STORE
+        assert store is not None and store.closed
+        assert _shm_entries() <= before
