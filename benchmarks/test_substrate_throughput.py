@@ -159,6 +159,34 @@ CLONE_ROUNDS = 30 if FULL else 10
 #: cancels; a restore that copies whole segments again blows past this at ~10x.
 CLONE_RATIO_CEILING = 1.5
 
+#: PR 9 — compiled mini-C on the span fast path.  The minic columns time the
+#: interpreter twice over the same source: span-lowered (``lower=True``, the
+#: shipped compile) against the frozen per-byte tree-walk (``lower=False``).
+#: ``scanner`` is the raw lowered idiom (``while (*p) p++``); ``figure1`` is
+#: the paper's Figure 1 ``utf8_to_utf7`` conversion, whose loops are *not*
+#: lowerable (the double-read copy shape), so its columns track the plain
+#: interpreter workload rate rather than a lowering speedup.
+MINIC_SCAN_BYTES = (1 << 16) if FULL else (1 << 14)
+#: Tree-walk payload: three decimal orders slower than the lowered scan, so
+#: it gets a proportionally smaller buffer (like the per-byte cstring ref).
+MINIC_TREE_WALK_BYTES = (1 << 11) if FULL else (1 << 9)
+#: Figure 1 folder-name length per conversion call.
+MINIC_FIGURE1_BYTES = (1 << 12) if FULL else (1 << 10)
+#: Acceptance floor: the span-lowered scanner must beat the tree-walk by at
+#: least 50x under the failure-oblivious build (measured ~1000x; a broken
+#: lowering pass falls back to tree-walking and collapses to ~1x).
+REQUIRED_MINIC_SPEEDUP = 50.0
+
+#: The scanner benchmark source: the canonical lowered idiom.
+MINIC_SCANNER_SOURCE = """
+int scan(char *s) {
+    char *p;
+    p = s;
+    while (*p) p++;
+    return p - s;
+}
+"""
+
 
 # -- measurement ---------------------------------------------------------------
 
@@ -438,6 +466,61 @@ def _measure_clone():
     }
 
 
+def _measure_minic():
+    """Time span-lowered mini-C against the frozen tree-walk interpreter.
+
+    Both builds run under the failure-oblivious policy (the paper's headline
+    build).  Repeated calls reuse the instance's interned argument string,
+    so the scanner numbers measure the loop, not allocation; the Figure 1
+    conversion allocates its output per call, which is freed between rounds
+    to keep the heap flat.
+    """
+    from repro.minic.figure1 import FIGURE1_SOURCE
+    from repro.minic.interpreter import TypedPointer
+    from repro.minic.lower import compile_program, lowered_count
+
+    policy_cls = POLICY_NAMES["failure-oblivious"]
+
+    def scan_rate(lower, payload_bytes):
+        program = compile_program(MINIC_SCANNER_SOURCE, lower=lower)
+        if lower:
+            assert lowered_count(program.unit) == 1
+        instance = program.instantiate(policy_cls())
+        payload = b"x" * payload_bytes
+        instance.call("scan", payload)  # warm (interns the argument string)
+        return _best_rate(lambda: instance.call("scan", payload), payload_bytes)
+
+    def figure1_rate(lower, payload_bytes):
+        program = compile_program(FIGURE1_SOURCE, lower=lower)
+        instance = program.instantiate(policy_cls())
+        name = b"x" * payload_bytes
+
+        def convert():
+            result = instance.call("utf8_to_utf7", name, len(name))
+            if isinstance(result, TypedPointer) and not result.is_null:
+                instance.ctx.free(result.pointer)
+
+        convert()  # warm
+        return _best_rate(convert, payload_bytes)
+
+    scanner = scan_rate(True, MINIC_SCAN_BYTES)
+    scanner_tree_walk = scan_rate(False, MINIC_TREE_WALK_BYTES)
+    figure1 = figure1_rate(True, MINIC_FIGURE1_BYTES)
+    figure1_tree_walk = figure1_rate(False, MINIC_TREE_WALK_BYTES)
+    return {
+        "scanner_bytes_per_sec": round(scanner),
+        "scanner_tree_walk_bytes_per_sec": round(scanner_tree_walk),
+        "scanner_speedup_vs_tree_walk": (
+            round(scanner / scanner_tree_walk, 1) if scanner_tree_walk else None
+        ),
+        "figure1_bytes_per_sec": round(figure1),
+        "figure1_tree_walk_bytes_per_sec": round(figure1_tree_walk),
+        "figure1_speedup_vs_tree_walk": (
+            round(figure1 / figure1_tree_walk, 1) if figure1_tree_walk else None
+        ),
+    }
+
+
 def _load_baseline():
     try:
         with open(BENCH_PATH, "r", encoding="utf-8") as handle:
@@ -483,8 +566,15 @@ def clone_report():
 
 
 @pytest.fixture(scope="module")
+def minic_report():
+    """Measure span-lowered vs tree-walk mini-C — the CI fast-mode minic
+    smoke step exercises this alone (``-k minic``)."""
+    return _measure_minic()
+
+
+@pytest.fixture(scope="module")
 def substrate_report(flood_report, restart_report, soak_report, fleet_report,
-                     clone_report):
+                     clone_report, minic_report):
     """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
     baseline = _load_baseline()
 
@@ -504,7 +594,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report,
         figures[experiment_id] = round(time.perf_counter() - started, 3)
 
     report = {
-        "schema": "repro-substrate-throughput/v5",
+        "schema": "repro-substrate-throughput/v6",
         "mode": "full" if FULL else "smoke",
         "python": platform.python_version(),
         "fast_payload_bytes": FAST_BYTES,
@@ -515,6 +605,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report,
         "soak": soak_report,
         "fleet": fleet_report,
         "clone": clone_report,
+        "minic": minic_report,
         "figures_wall_clock_seconds": figures,
     }
     # Only full-mode runs overwrite the version-tracked baseline (the CI job
@@ -720,6 +811,40 @@ def test_no_regression_against_committed_baseline(substrate_report):
             f"{name}: speedup {measured}x regressed >30% below baseline {reference}x "
             f"(gate floor {floor}x)"
         )
+
+
+def test_minic_scanner_meets_speedup_floor(minic_report):
+    """PR 9 acceptance: the span-lowered scanner loop must beat the frozen
+    tree-walk interpreter by at least 50x under failure-oblivious."""
+    speedup = minic_report["scanner_speedup_vs_tree_walk"]
+    assert speedup is not None and speedup >= REQUIRED_MINIC_SPEEDUP, (
+        f"span-lowered mini-C scanner only {speedup}x over the tree-walk "
+        f"(floor {REQUIRED_MINIC_SPEEDUP}x): the lowering pass is not engaging"
+    )
+
+
+def test_minic_rates_are_positive(minic_report):
+    for column, value in minic_report.items():
+        assert value is not None and value > 0, column
+
+
+def test_no_minic_regression_against_committed_baseline(minic_report):
+    """CI gate: the lowered-scanner speedup must not collapse by an order of
+    magnitude against the committed v6 ``minic.*`` columns."""
+    if not ENFORCE:
+        pytest.skip("baseline enforcement disabled (set REPRO_BENCH_ENFORCE=1)")
+    baseline = _load_baseline()
+    if not baseline or "minic" not in baseline:
+        pytest.skip("committed baseline predates the minic columns (schema < v6)")
+    reference = baseline["minic"].get("scanner_speedup_vs_tree_walk")
+    measured = minic_report["scanner_speedup_vs_tree_walk"]
+    if reference is None or measured is None:
+        pytest.skip("no comparable minic scanner speedup in the baseline")
+    floor = min(reference, OOB_BASELINE_SPEEDUP_CAP) / OOB_REGRESSION_FACTOR
+    assert measured >= floor, (
+        f"mini-C scanner speedup {measured}x collapsed an order of magnitude "
+        f"below baseline {reference}x (gate floor {floor}x)"
+    )
 
 
 def test_no_oob_flood_regression_against_committed_baseline(flood_report):

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's vulnerable C functions, compiled and served live.
+
+The ``minic-pine`` and ``minic-sendmail`` profiles host *compiled mini-C*:
+the overflow sites from the paper — Pine's ``est_size`` From-quoting
+overflow (§4.2) and the Sendmail ``crackaddr``-style comment-balancing walk
+— are parsed by the front end in ``src/repro/minic/``, idiom-lowered onto
+the span fast path, and interpreted inside the simulated address space of a
+live server.  Because the profiles register through the standard
+:class:`~repro.servers.profile.ServerProfile` path, every experiment shape
+the harness offers (figure tables, the security matrix, fleet soaks) works
+on the compiled programs with zero harness edits.
+
+Run with:  python examples/minic_servers.py
+"""
+
+from repro.fleet.report import format_fleet_table
+from repro.fleet.scheduler import InstanceSpec, run_fleet
+from repro.harness.engine import ENGINE, ScenarioSpec
+from repro.harness.report import format_figure_table, format_security_matrix
+
+
+def main() -> None:
+    print("Compiled mini-C request times (the paper's C code, interpreted):\n")
+    for server in ("minic-pine", "minic-sendmail"):
+        rows = ENGINE.run(
+            ScenarioSpec(server=server, workload="performance", repetitions=10)
+        )
+        print(format_figure_table(rows))
+        print()
+
+    print("The documented overflows, delivered to each build:\n")
+    cells = ENGINE.run_security_matrix(
+        servers=["minic-pine", "minic-sendmail"],
+        policies=("standard", "bounds-check", "failure-oblivious"),
+    )
+    print(format_security_matrix(cells, title="Compiled mini-C under attack"))
+
+    print(
+        "\nminic-pine survives the quoting overflow failure-obliviously (the"
+        " discarded writes never reach the heap); minic-sendmail's own"
+        " post-parse length check turns the survived overflow into a 552"
+        " rejection — the paper's §4.1 anticipated-error story, now emitted"
+        " by the compiled C itself.\n"
+    )
+
+    print("A small mixed fleet of compiled servers under attack traffic:\n")
+    result = run_fleet(
+        [
+            InstanceSpec("minic-pine", "failure-oblivious", count=2, attack_every=6),
+            InstanceSpec("minic-sendmail", "failure-oblivious", count=2, attack_every=6),
+            InstanceSpec("minic-sendmail", "standard", count=1, attack_every=6),
+        ],
+        total_requests=150,
+        seed=9,
+        workers=0,
+    )
+    print(format_fleet_table(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,13 @@ Run the documented attack against one server under one build::
 
     python -m repro attack mutt --policy failure-oblivious
 
+Compile and run a mini-C source file under any build (the paper's
+"recompile the same C source" adoption story as a shell command)::
+
+    python -m repro minic run prog.c --policy failure-oblivious --call main
+    python -m repro minic run prog.c --policy standard --call copy --arg "hello"
+    python -m repro minic run prog.c --call main --trace minic.jsonl
+
 Export a run's telemetry stream as JSONL and query it offline (``summary``
 and ``filter`` accept SQLite exports from ``repro fleet run`` too — the
 format is sniffed)::
@@ -112,6 +119,32 @@ def _build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--workers", type=int, default=None,
                                help="process count for experiments that fan out; "
                                     "per-worker spill files are merged in spec order")
+
+    minic_parser = subparsers.add_parser(
+        "minic", help="compile and run mini-C source on the simulated substrate"
+    )
+    minic_sub = minic_parser.add_subparsers(dest="minic_command", required=True)
+
+    minic_run_parser = minic_sub.add_parser(
+        "run", help="compile FILE.c under one build and call a function"
+    )
+    minic_run_parser.add_argument("file", help="mini-C source file")
+    minic_run_parser.add_argument("--policy", choices=sorted(POLICY_NAMES),
+                                  default="failure-oblivious",
+                                  help="build variant to bind (the compiler choice)")
+    minic_run_parser.add_argument("--call", default="main", metavar="FUNCTION",
+                                  help="function to call (default: main)")
+    minic_run_parser.add_argument("--arg", action="append", default=[],
+                                  metavar="VALUE",
+                                  help="argument for the call: an integer, or any "
+                                       "other text as a NUL-terminated C string "
+                                       "(repeatable, in order)")
+    minic_run_parser.add_argument("--no-lower", action="store_true",
+                                  help="skip the span-lowering pass and run the "
+                                       "frozen per-byte tree-walk reference")
+    minic_run_parser.add_argument("--trace", default=None, metavar="OUT",
+                                  help="export the run's telemetry event stream "
+                                       "as JSONL to this path")
 
     fleet_parser = subparsers.add_parser(
         "fleet", help="soak a heterogeneous fleet of server instances"
@@ -264,6 +297,96 @@ def _command_attack(args: argparse.Namespace) -> int:
     print(f"survived attack   : {'yes' if scenario.survived_attack else 'no'}")
     print(f"continued service : {'yes' if scenario.continued_service else 'no'}")
     return 0 if scenario.continued_service or args.policy != "failure-oblivious" else 1
+
+
+def _parse_minic_arg(text: str) -> object:
+    """An integer when the text parses as one, otherwise C-string bytes."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text.encode("utf-8")
+
+
+def _command_minic_run(args: argparse.Namespace) -> int:
+    """Compile a mini-C file, call into it, and report like an administrator.
+
+    This is the paper's adoption story as a shell command: the same source
+    file, recompiled with ``--policy``, crashes (standard), terminates
+    (bounds-check), or keeps going while the error log records what was
+    discarded (failure-oblivious).  ``--trace`` additionally exports the
+    run's full telemetry stream for ``repro trace summary``.
+    """
+    import os
+
+    from repro.errors import MemoryFault, MiniCError
+    from repro.minic.interpreter import TypedPointer
+    from repro.minic.lower import compile_program, lowered_count
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        program = compile_program(source, lower=not args.no_lower)
+    except MiniCError as error:
+        print(f"compile error: {error}", file=sys.stderr)
+        return 2
+
+    call_args = [_parse_minic_arg(text) for text in args.arg]
+    session = TelemetrySession() if args.trace else None
+    site = f"{os.path.basename(args.file)}:{args.call}"
+    fault: Optional[BaseException] = None
+    result = None
+    try:
+        if session is not None:
+            session.__enter__()
+        try:
+            instance = program.instantiate(POLICY_NAMES[args.policy]())
+            instance.ctx.set_site(site)
+            try:
+                result = instance.call(args.call, *call_args)
+            except (MemoryFault, MiniCError) as error:
+                fault = error
+            finally:
+                instance.ctx.set_site("")
+        finally:
+            if session is not None:
+                session.__exit__(None, None, None)
+                written = session.merge(args.trace)
+                print(f"exported {written} event(s) to {args.trace}", file=sys.stderr)
+    finally:
+        if session is not None:
+            session.cleanup()
+
+    print(f"source            : {args.file}")
+    print(f"build             : {args.policy}")
+    lowered = lowered_count(program.unit)
+    mode = "tree-walk (lower=False)" if args.no_lower else f"{lowered} span-lowered loop(s)"
+    print(f"compiled          : {mode}")
+    if fault is not None:
+        print(f"{args.call}({', '.join(args.arg)}) -> {type(fault).__name__}: {fault}")
+    else:
+        shown = result
+        if isinstance(result, TypedPointer):
+            shown = "NULL" if result.is_null else repr(instance.read_string(result))
+        print(f"{args.call}({', '.join(args.arg)}) -> {shown}")
+    if instance.output:
+        print("program output    :")
+        print(instance.output.decode("utf-8", errors="replace"), end="")
+        if not instance.output.endswith(b"\n"):
+            print()
+    print()
+    print(instance.ctx.error_log.summary())
+    print(f"bounds checks     : {instance.ctx.check_cost()}")
+    return 1 if fault is not None else 0
+
+
+def _command_minic(args: argparse.Namespace) -> int:
+    if args.minic_command == "run":
+        return _command_minic_run(args)
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 #: The default fleet: every registered profile under the paper's build, plus
@@ -421,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "attack":
         return _command_attack(args)
+    if args.command == "minic":
+        return _command_minic(args)
     if args.command == "fleet":
         return _command_fleet(args)
     if args.command == "trace":

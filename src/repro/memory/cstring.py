@@ -128,27 +128,39 @@ def _oob_copy_span(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int
     return min(mem.scan_span(src), n)
 
 
-def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
-    """Copy the NUL-terminated string at ``src`` to ``dst`` (no bounds respected)."""
+def copy_c_string(
+    mem: MemoryAccessor, dst: FatPointer, src: FatPointer, limit: Optional[int] = None
+) -> int:
+    """Copy the string at ``src`` to ``dst`` and return bytes copied (NUL included).
+
+    This is ``strcpy`` with an explicit scan budget and a byte count, so the
+    mini-C lowering pass can advance both loop pointers past the terminator
+    and fire its iteration guard after exactly as many copied bytes as the
+    per-byte loop it replaces.  ``limit=None`` reads :data:`SCAN_LIMIT` at
+    call time, matching the byte loops (and the equivalence suite, which
+    shrinks the module global for runaway self-propagating copies).
+    """
+    if limit is None:
+        limit = SCAN_LIMIT
     d, s = dst, src
     copied = 0
     while True:
-        if copied > SCAN_LIMIT:
+        if copied > limit:
             raise InfiniteLoopGuard("strcpy copied too many bytes")
-        chunk = _copy_span(mem, d, s, SCAN_LIMIT - copied + 1)
+        chunk = _copy_span(mem, d, s, limit - copied + 1)
         if chunk <= 1:
             # Destination out of bounds, source still spanning: one policy
             # decision for the whole chunk (write_span batches the invalid
             # run).  In-bounds source reads emit no events, so the event
             # stream is exactly the byte loop's write-event stream.
-            chunk = _oob_copy_span(mem, d, s, SCAN_LIMIT - copied + 1)
+            chunk = _oob_copy_span(mem, d, s, limit - copied + 1)
         if chunk > 1:
             # One span-sized read (locating the NUL included) and one
             # span-sized write: one policy check per pointer per chunk.
             data, index = mem.read_span_until(s, 0, chunk)
             mem.write_span(d, data)
             if index >= 0:
-                return dst
+                return copied + index + 1
             n = len(data)
             d, s = d + n, s + n
             copied += n
@@ -156,9 +168,15 @@ def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
         byte = mem.read_byte(s)
         mem.write_byte(d, byte)
         if byte == 0:
-            return dst
+            return copied + 1
         d, s = d + 1, s + 1
         copied += 1
+
+
+def strcpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
+    """Copy the NUL-terminated string at ``src`` to ``dst`` (no bounds respected)."""
+    copy_c_string(mem, dst, src)
+    return dst
 
 
 def strncpy(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> FatPointer:
@@ -208,6 +226,43 @@ def strcat(mem: MemoryAccessor, dst: FatPointer, src: FatPointer) -> FatPointer:
     """Append ``src`` to the string at ``dst`` — the Midnight Commander primitive."""
     end = dst + strlen(mem, dst)
     strcpy(mem, end, src)
+    return dst
+
+
+def strncat(mem: MemoryAccessor, dst: FatPointer, src: FatPointer, n: int) -> FatPointer:
+    """Append at most ``n`` bytes of ``src`` to ``dst``, always NUL-terminating.
+
+    Like the C function the paper's servers call: the destination end is
+    found with a span scan, up to ``n`` source bytes are copied through the
+    span fast path (stopping early at the source NUL), and a terminator is
+    written after the appended bytes — so a too-large ``n`` overflows the
+    destination under whatever policy is bound, one decision per span/run.
+    """
+    end = dst + strlen(mem, dst)
+    i = 0
+    hit_nul = False
+    while i < n and not hit_nul:
+        chunk = _copy_span(mem, end + i, src + i, n - i)
+        if chunk <= 1:
+            chunk = _oob_copy_span(mem, end + i, src + i, n - i)
+        if chunk > 1:
+            data, index = mem.read_span_until(src + i, 0, chunk)
+            if index >= 0:
+                # Do not copy the source NUL itself; the terminator below is
+                # the byte loop's separate final write.
+                data = data[:index]
+                hit_nul = True
+            if len(data):
+                mem.write_span(end + i, data)
+            i += len(data)
+            continue
+        byte = mem.read_byte(src + i)
+        if byte == 0:
+            hit_nul = True
+            break
+        mem.write_byte(end + i, byte)
+        i += 1
+    mem.write_byte(end + i, 0)
     return dst
 
 
@@ -289,6 +344,31 @@ def memset(mem: MemoryAccessor, dst: FatPointer, value: int, n: int) -> FatPoint
     """Fill ``n`` bytes with ``value``."""
     mem.write(dst, bytes([value & 0xFF]) * n)
     return dst
+
+
+def write_bytes(mem: MemoryAccessor, dst: FatPointer, data: bytes) -> None:
+    """Write a byte blob through the span fast path, one decision per span/run.
+
+    For run-capable policies a single ``write_span`` covers in-bounds spans
+    and batched invalid runs alike (the strncpy padding precedent); other
+    policies alternate span writes with the per-byte loop, so the event
+    stream matches a byte-at-a-time store loop exactly.
+    """
+    if not data:
+        return
+    if mem.batches_runs:
+        mem.write_span(dst, data)
+        return
+    i = 0
+    total = len(data)
+    while i < total:
+        span = min(mem.scan_span(dst + i), total - i)
+        if span > 0:
+            mem.write_span(dst + i, data[i : i + span])
+            i += span
+        else:
+            mem.write_byte(dst + i, data[i])
+            i += 1
 
 
 def write_c_string(mem: MemoryAccessor, dst: FatPointer, text: bytes) -> None:

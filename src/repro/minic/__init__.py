@@ -1,34 +1,47 @@
-"""A mini-C front end and interpreter over the simulated memory substrate.
+"""A mini-C front end, span-lowering compiler, and interpreter over the substrate.
 
 The paper's adoption story is "recompile the same C source with a different
 compiler".  This package makes that story literal inside the reproduction: a
-small C-like language is lexed, parsed, and interpreted, with every variable,
-array, and heap block allocated in the simulated address space and every load
-and store routed through the active access policy.  The same source therefore
-behaves like the Standard, Bounds Check, or Failure Oblivious build depending
-only on the policy the program was *compiled* (bound) with.
+small C-like language is lexed, preprocessed, parsed, idiom-lowered, and
+interpreted, with every variable, array, and heap block allocated in the
+simulated address space and every load and store routed through the active
+access policy.  The same source therefore behaves like the Standard, Bounds
+Check, or Failure Oblivious build depending only on the policy the program
+was *compiled* (bound) with.
 
-The subset is deliberately small but real: ``int``/``char``/``unsigned char``
-scalars, pointers, arrays, ``struct``-free imperative code with ``if``/
-``while``/``for``/``goto``/``return``, function definitions and calls, pointer
-arithmetic, and the handful of libc routines the paper's example needs
-(``safe_malloc``, ``safe_realloc``, ``safe_free``, ``strlen``, ``strcpy``,
-``strcat``, ``memset``).  It is enough to run the paper's Figure 1
-(``utf8_to_utf7``) verbatim-in-spirit; see ``examples/mutt_figure1.py``.
+The subset is real enough for the paper's server functions: ``int``/``char``/
+``unsigned`` scalars, pointers, arrays, ``struct`` definitions with member
+access, ``typedef``, function pointers, ``sizeof``, a minimal preprocessor
+(``#define`` object macros, ``#include``-as-concatenation), imperative code
+with ``if``/``while``/``for``/``goto``/``return``, function definitions and
+calls, pointer arithmetic, and the libc routines the ported functions need
+(``safe_malloc``, ``strlen``, ``strcpy``, ``strncat``, ``strchr``,
+``sprintf``, ...).  Figure 1 (``utf8_to_utf7``) and the Pine/Sendmail
+overflow sites run on it; see ``examples/mutt_figure1.py`` and
+``examples/minic_servers.py``.
+
+String-walking loops (scans, strcpy-style copies, bounded fills) are
+recognized by :mod:`repro.minic.lower` and executed through the bulk span
+primitives — one policy decision per span or invalid run instead of per
+byte — with ``compile_program(source, lower=False)`` keeping the frozen
+per-byte tree-walk as the reference path.
 
 Public API
 ----------
-* :func:`compile_program` — parse source into a :class:`~repro.minic.interpreter.Program`.
+* :func:`compile_program` — parse + check + span-lower into a
+  :class:`~repro.minic.interpreter.Program`.
 * :class:`~repro.minic.interpreter.Program` — bind to a policy and call functions.
 """
 
-from repro.minic.compiler import compile_program
+from repro.minic.lower import CompileError, compile_program, lowered_count
 from repro.minic.interpreter import Program, MiniCRuntimeError
 from repro.minic.lexer import tokenize, Token, TokenType
 from repro.minic.parser import parse
 
 __all__ = [
     "compile_program",
+    "CompileError",
+    "lowered_count",
     "Program",
     "MiniCRuntimeError",
     "tokenize",

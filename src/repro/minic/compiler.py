@@ -1,54 +1,15 @@
-"""The "compiler" entry point: source text to a policy-bindable Program.
+"""Compatibility alias for the compile entry point.
 
-There is deliberately no code generation — the compile step is parsing plus a
-handful of well-formedness checks — because the paper's point is that the only
-thing that changes between the Standard, Bounds Check, and Failure Oblivious
-builds is what happens at each memory access, and in this reproduction that is
+The compile pipeline (well-formedness checks + the span-lowering idiom pass)
+lives in :mod:`repro.minic.lower`; this module keeps the historical import
+path ``repro.minic.compiler`` working.  As before there is deliberately no
+code generation — the only thing that changes between the Standard, Bounds
+Check, and Failure Oblivious builds is what happens at each memory access,
 decided when the program is *instantiated* against a policy.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from repro.minic.lower import CompileError, compile_program, lower_unit, lowered_count
 
-from repro.errors import MiniCError
-from repro.minic import ast_nodes as ast
-from repro.minic.interpreter import Program
-from repro.minic.parser import parse
-from repro.minic.stdlib import BUILTINS
-
-
-class CompileError(MiniCError):
-    """Raised when the translation unit fails the well-formedness checks."""
-
-
-def _collect_calls(node, found: Set[str]) -> None:
-    if isinstance(node, ast.Call):
-        found.add(node.name)
-    if hasattr(node, "__dict__"):
-        for value in vars(node).values():
-            if isinstance(value, list):
-                for item in value:
-                    _collect_calls(item, found)
-            elif isinstance(value, (ast.Expr, ast.Stmt)):
-                _collect_calls(value, found)
-
-
-def compile_program(source: str) -> Program:
-    """Parse ``source`` and verify that every called function is defined.
-
-    Returns a :class:`~repro.minic.interpreter.Program` that can be
-    instantiated against any :class:`~repro.core.policy.AccessPolicy`.
-    """
-    unit = parse(source)
-    defined = {function.name for function in unit.functions}
-    duplicates = [name for name in defined if sum(f.name == name for f in unit.functions) > 1]
-    if duplicates:
-        raise CompileError(f"duplicate function definition(s): {sorted(set(duplicates))}")
-    called: Set[str] = set()
-    for function in unit.functions:
-        _collect_calls(function.body, called)
-    unknown = called - defined - set(BUILTINS)
-    if unknown:
-        raise CompileError(f"call(s) to undefined function(s): {sorted(unknown)}")
-    return Program(unit, source=source)
+__all__ = ["CompileError", "compile_program", "lower_unit", "lowered_count"]

@@ -1,10 +1,19 @@
-"""Tokenizer for the mini-C subset."""
+"""Tokenizer and minimal preprocessor for the mini-C subset.
+
+The preprocessor handles the two directive shapes real server sources lean
+on: ``#define NAME replacement`` object macros (expanded at the token level,
+so a macro use carries the line/column of the *use site* in diagnostics) and
+``#include "name"`` as pure concatenation — the included text is resolved
+from a caller-provided mapping and its tokens are spliced in place.  Function
+macros, conditionals, and system headers are out of scope; the front end
+reports them with a position instead of guessing.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Mapping, Optional
 
 from repro.errors import MiniCError
 
@@ -43,6 +52,7 @@ KEYWORDS = {
     "static",
     "const",
     "struct",
+    "typedef",
     "NULL",
 }
 
@@ -52,7 +62,7 @@ PUNCTUATION = [
     "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
     "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
     "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
-    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
 ]
 
 _ESCAPES = {
@@ -117,14 +127,114 @@ class _Scanner:
         return LexError(f"line {self.line}, column {self.column}: {message}")
 
 
-def tokenize(source: str) -> List[Token]:
-    """Convert source text into a token list ending with an EOF token."""
+def tokenize(
+    source: str,
+    includes: Optional[Mapping[str, str]] = None,
+    defines: Optional[Mapping[str, str]] = None,
+) -> List[Token]:
+    """Convert source text into a token list ending with an EOF token.
+
+    ``includes`` maps ``#include "name"`` names to their source text (pure
+    concatenation — the included tokens are spliced in place and may add
+    macros and declarations).  ``defines`` pre-populates object macros, as if
+    each entry had been ``#define``-d before line one.
+    """
+    macros: Dict[str, List[Token]] = {}
+    include_map = dict(includes or {})
+    for name, text in (defines or {}).items():
+        macros[name] = _lex(str(text), {}, {})[0]
+    tokens, line, column = _lex(source, include_map, macros)
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens
+
+
+def _expand_macro(
+    name: str, macros: Dict[str, List[Token]], line: int, column: int, active: frozenset
+) -> List[Token]:
+    """Expand one object macro, rescanning its body for further macro uses.
+
+    Every produced token carries the *use site* position so diagnostics point
+    at the line that invoked the macro, not the ``#define``.  ``active``
+    breaks self-referential definitions the way a real preprocessor does.
+    """
+    out: List[Token] = []
+    for token in macros[name]:
+        if (
+            token.type is TokenType.IDENT
+            and token.value in macros
+            and token.value not in active
+        ):
+            out.extend(
+                _expand_macro(token.value, macros, line, column, active | {token.value})
+            )
+        else:
+            out.append(Token(token.type, token.value, line, column))
+    return out
+
+
+def _directive(
+    scanner: _Scanner,
+    tokens: List[Token],
+    includes: Mapping[str, str],
+    macros: Dict[str, List[Token]],
+) -> None:
+    """Process one ``#...`` line (the scanner sits on the ``#``)."""
+    scanner.advance()  # the '#'
+    while scanner.peek() in " \t":
+        scanner.advance()
+    word = ""
+    while not scanner.at_end() and (scanner.peek().isalpha() or scanner.peek() == "_"):
+        word += scanner.advance()
+    if word == "define":
+        while scanner.peek() in " \t":
+            scanner.advance()
+        name = ""
+        while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
+            name += scanner.advance()
+        if not name:
+            raise scanner.error("#define needs a macro name")
+        if scanner.peek() == "(":
+            raise scanner.error(
+                f"function-like macro {name!r} is not supported (object macros only)"
+            )
+        body = ""
+        while not scanner.at_end() and scanner.peek() != "\n":
+            body += scanner.advance()
+        # The body is lexed now but expanded at each use site (rescan model).
+        macros[name] = _lex(body, {}, {})[0]
+        return
+    if word == "include":
+        while scanner.peek() in " \t":
+            scanner.advance()
+        if scanner.peek() != '"':
+            raise scanner.error('#include expects a "quoted" name')
+        name_token = _scan_string(scanner, scanner.line, scanner.column)
+        name = name_token.value.decode("ascii", "replace")
+        if name not in includes:
+            raise scanner.error(f"#include {name!r} not found (available: {sorted(includes)})")
+        included, _line, _column = _lex(includes[name], includes, macros)
+        tokens.extend(included)
+        while not scanner.at_end() and scanner.peek() != "\n":
+            scanner.advance()
+        return
+    raise scanner.error(f"unsupported preprocessor directive #{word or '<none>'}")
+
+
+def _lex(
+    source: str,
+    includes: Mapping[str, str],
+    macros: Dict[str, List[Token]],
+) -> tuple:
+    """Lex one source text (no EOF token); returns (tokens, end line, end column)."""
     scanner = _Scanner(source)
     tokens: List[Token] = []
     while not scanner.at_end():
         ch = scanner.peek()
         if ch in " \t\r\n":
             scanner.advance()
+            continue
+        if ch == "#":
+            _directive(scanner, tokens, includes, macros)
             continue
         if ch == "/" and scanner.peek(1) == "/":
             while not scanner.at_end() and scanner.peek() != "\n":
@@ -143,6 +253,9 @@ def tokenize(source: str) -> List[Token]:
             text = ""
             while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
                 text += scanner.advance()
+            if text in macros:
+                tokens.extend(_expand_macro(text, macros, line, column, frozenset({text})))
+                continue
             token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
             tokens.append(Token(token_type, text, line, column))
             continue
@@ -159,8 +272,7 @@ def tokenize(source: str) -> List[Token]:
         if punct is None:
             raise scanner.error(f"unexpected character {ch!r}")
         tokens.append(Token(TokenType.PUNCT, punct, line, column))
-    tokens.append(Token(TokenType.EOF, None, scanner.line, scanner.column))
-    return tokens
+    return tokens, scanner.line, scanner.column
 
 
 def _scan_number(scanner: _Scanner, line: int, column: int) -> Token:

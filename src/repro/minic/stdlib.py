@@ -84,6 +84,80 @@ def _builtin_strcat(instance, args: List) -> object:
     return dst
 
 
+def _builtin_strncat(instance, args: List) -> object:
+    dst = _as_pointer(instance, args[0], "strncat")
+    src = _as_pointer(instance, args[1], "strncat")
+    cstring.strncat(instance.ctx.mem, dst.pointer, src.pointer, int(args[2]))
+    return dst
+
+
+def _builtin_strchr(instance, args: List) -> object:
+    from repro.minic.interpreter import NULL_POINTER, TypedPointer
+
+    s = _as_pointer(instance, args[0], "strchr")
+    result = cstring.strchr(instance.ctx.mem, s.pointer, int(args[1]))
+    if result is None:
+        return NULL_POINTER
+    return TypedPointer(result, 1)
+
+
+def _builtin_sprintf(instance, args: List) -> int:
+    """``sprintf`` for the ``%s``/``%d``/``%c``/``%%`` subset the servers use.
+
+    The format string and every ``%s`` argument are read through the
+    policy-mediated accessor, and the rendered output is written back through
+    the span fast path — so an output that exceeds the destination buffer
+    overflows under whatever policy is bound, exactly like the C original.
+    """
+    from repro.minic.interpreter import MiniCRuntimeError, TypedPointer
+
+    if len(args) < 2:
+        raise MiniCRuntimeError("sprintf needs a destination and a format string")
+    dst = _as_pointer(instance, args[0], "sprintf")
+    fmt_ptr = _as_pointer(instance, args[1], "sprintf")
+    mem = instance.ctx.mem
+    fmt = cstring.read_c_string(mem, fmt_ptr.pointer)
+    out = bytearray()
+    arg_index = 2
+
+    def next_arg(directive: str):
+        nonlocal arg_index
+        if arg_index >= len(args):
+            raise MiniCRuntimeError(f"sprintf: missing argument for %{directive}")
+        value = args[arg_index]
+        arg_index += 1
+        return value
+
+    i = 0
+    while i < len(fmt):
+        byte = fmt[i]
+        if byte != ord("%"):
+            out.append(byte)
+            i += 1
+            continue
+        if i + 1 >= len(fmt):
+            raise MiniCRuntimeError("sprintf: trailing '%' in format string")
+        directive = chr(fmt[i + 1])
+        i += 2
+        if directive == "%":
+            out.append(ord("%"))
+        elif directive == "d":
+            out += str(int(next_arg("d"))).encode("ascii")
+        elif directive == "c":
+            out.append(int(next_arg("c")) & 0xFF)
+        elif directive == "s":
+            value = next_arg("s")
+            if not isinstance(value, TypedPointer):
+                raise MiniCRuntimeError("sprintf: %s needs a string pointer")
+            out += cstring.read_c_string(mem, value.pointer)
+        else:
+            raise MiniCRuntimeError(
+                f"sprintf: unsupported directive %{directive} (supported: %s %d %c %%)"
+            )
+    cstring.write_bytes(mem, dst.pointer, bytes(out) + b"\x00")
+    return len(out)
+
+
 def _builtin_strcmp(instance, args: List) -> int:
     left = _as_pointer(instance, args[0], "strcmp")
     right = _as_pointer(instance, args[1], "strcmp")
@@ -135,6 +209,9 @@ BUILTINS: Dict[str, Callable] = {
     "strcpy": _builtin_strcpy,
     "strncpy": _builtin_strncpy,
     "strcat": _builtin_strcat,
+    "strncat": _builtin_strncat,
+    "strchr": _builtin_strchr,
+    "sprintf": _builtin_sprintf,
     "strcmp": _builtin_strcmp,
     "memset": _builtin_memset,
     "memcpy": _builtin_memcpy,

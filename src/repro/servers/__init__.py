@@ -37,6 +37,11 @@ from repro.servers.apache import ApacheServer, ChildProcessPool
 from repro.servers.sendmail import SendmailServer
 from repro.servers.midnight_commander import MidnightCommanderServer
 from repro.servers.mutt import MuttServer
+from repro.servers.minic_host import (
+    MiniCPineServer,
+    MiniCSendmailServer,
+    MiniCServer,
+)
 
 #: The five servers of the paper's evaluation.  Experiment code that wants
 #: *every* registered server (including plugins) should consult
@@ -68,5 +73,8 @@ __all__ = [
     "SendmailServer",
     "MidnightCommanderServer",
     "MuttServer",
+    "MiniCServer",
+    "MiniCPineServer",
+    "MiniCSendmailServer",
     "SERVER_CLASSES",
 ]
