@@ -101,6 +101,21 @@ RESTART_SCRATCH_ROUNDS = 8 if FULL else 4
 #: noise shrinks the measured ratio, never the mechanism).
 REQUIRED_RESTART_SPEEDUP = 20.0 if FULL else 10.0
 
+#: PR 10 — self-healing recovery.  An incremental snapshot captures only the
+#: blocks the last request dirtied, so it must be at least an order of
+#: magnitude cheaper than a full checkpoint of the same space; and rolling
+#: back to the last good snapshot must beat a from-scratch reboot by at
+#: least the checkpoint-restart gate (the rollback is a block patch of the
+#: live space — strictly less work than a full image restore).
+REQUIRED_RECOVERY_DELTA_SPEEDUP = 10.0
+RECOVERY_ROUNDS = 30 if FULL else 10
+RECOVERY_SCRATCH_ROUNDS = 8 if FULL else 4
+#: Heap size for the recovery measurements.  A full checkpoint is O(space)
+#: while a delta snapshot is O(dirtied blocks), so the measurement uses a
+#: long-lived-server heap; at toy sizes the delta's fixed bookkeeping cost
+#: (allocator/object-table/policy capture) dominates and hides the mechanism.
+RECOVERY_HEAP_BYTES = 16 * 1024 * 1024
+
 #: Soak shape for the end-to-end gate: the §4.3.2 bounds-check-under-attack
 #: flood, where every request kills the child and the monitor restarts it.
 #: ``use_checkpoints=False`` reproduces the pre-checkpoint cost model (every
@@ -521,6 +536,108 @@ def _measure_minic():
     }
 
 
+def _measure_recovery():
+    """Time the self-healing primitives (PR 10).
+
+    Three costs per sample, with one benign Apache request processed between
+    samples so every measurement sees a realistic dirty set (the request's
+    scratch allocations), never an empty one.  Each cost is the *minimum*
+    over its rounds — the operations are deterministic, so the minimum is
+    the true cost and anything above it is scheduler noise (a single 1 ms
+    preemption would otherwise shift a ~50 µs mean by an order of
+    magnitude over 30 rounds):
+
+    * a full checkpoint of the whole address space (the pre-delta cost);
+    * an incremental snapshot appended to a
+      :class:`~repro.memory.checkpoint_stream.CheckpointStream`;
+    * a rollback to the newest snapshot (the supervisor's recovery path),
+      against the from-scratch reboot it replaces.
+    """
+    from repro.memory.checkpoint_stream import CheckpointStream
+    from repro.workloads.attacks import apache_vulnerable_config
+
+    def build():
+        server = SERVER_CLASSES["apache"](
+            POLICY_NAMES["failure-oblivious"],
+            config=apache_vulnerable_config(),
+            heap_size=RECOVERY_HEAP_BYTES,
+        )
+        server.start()
+        return server
+
+    server = build()
+    ctx = server.ctx
+    request = get_profile("apache").make_request("small", index=0)
+
+    def dirty():
+        server.process(request)
+
+    def timed(operation, rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            best = None
+            for _ in range(rounds):
+                dirty()
+                started = time.perf_counter()
+                operation()
+                elapsed = time.perf_counter() - started
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best
+        finally:
+            gc.enable()
+
+    dirty()
+    ctx.checkpoint()  # warm
+    full_seconds = timed(ctx.checkpoint, RECOVERY_ROUNDS)
+
+    stream = CheckpointStream(ctx)
+    dirty()
+    stream.snapshot()  # warm
+    delta_seconds = timed(stream.snapshot, RECOVERY_ROUNDS)
+    delta_bytes = stream.delta_bytes / len(stream.deltas)
+
+    latest = stream.latest
+    stream.restore(latest)  # warm
+    rollback_seconds = timed(lambda: stream.restore(latest), RECOVERY_ROUNDS)
+    server.stop()
+
+    # The reboot the rollback replaces: no image captured, full boot paid.
+    scratch = build()
+    scratch.checkpoint_restarts = False
+    scratch.restart_from_scratch()  # warm
+    gc.collect()
+    gc.disable()
+    try:
+        scratch_seconds = None
+        for _ in range(RECOVERY_SCRATCH_ROUNDS):
+            started = time.perf_counter()
+            scratch.restart_from_scratch()
+            elapsed = time.perf_counter() - started
+            if scratch_seconds is None or elapsed < scratch_seconds:
+                scratch_seconds = elapsed
+    finally:
+        gc.enable()
+    scratch.stop()
+
+    return {
+        "full_checkpoint_seconds": round(full_seconds, 6),
+        "delta_snapshot_seconds": round(delta_seconds, 6),
+        "delta_speedup_vs_full": (
+            round(full_seconds / delta_seconds, 1) if delta_seconds > 0 else None
+        ),
+        "delta_bytes_per_snapshot": round(delta_bytes),
+        "rollback_seconds": round(rollback_seconds, 6),
+        "scratch_reboot_seconds": round(scratch_seconds, 6),
+        "rollback_speedup_vs_scratch": (
+            round(scratch_seconds / rollback_seconds, 1)
+            if rollback_seconds > 0 else None
+        ),
+        "rounds": RECOVERY_ROUNDS,
+    }
+
+
 def _load_baseline():
     try:
         with open(BENCH_PATH, "r", encoding="utf-8") as handle:
@@ -573,8 +690,16 @@ def minic_report():
 
 
 @pytest.fixture(scope="module")
+def recovery_report():
+    """Measure delta snapshots vs full checkpoints and rollbacks vs reboots —
+    the CI fast-mode recovery smoke step exercises this alone
+    (``-k recovery``)."""
+    return _measure_recovery()
+
+
+@pytest.fixture(scope="module")
 def substrate_report(flood_report, restart_report, soak_report, fleet_report,
-                     clone_report, minic_report):
+                     clone_report, minic_report, recovery_report):
     """Measure every policy plus figure wall clocks; write BENCH_substrate.json."""
     baseline = _load_baseline()
 
@@ -594,7 +719,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report,
         figures[experiment_id] = round(time.perf_counter() - started, 3)
 
     report = {
-        "schema": "repro-substrate-throughput/v6",
+        "schema": "repro-substrate-throughput/v7",
         "mode": "full" if FULL else "smoke",
         "python": platform.python_version(),
         "fast_payload_bytes": FAST_BYTES,
@@ -606,6 +731,7 @@ def substrate_report(flood_report, restart_report, soak_report, fleet_report,
         "fleet": fleet_report,
         "clone": clone_report,
         "minic": minic_report,
+        "recovery": recovery_report,
         "figures_wall_clock_seconds": figures,
     }
     # Only full-mode runs overwrite the version-tracked baseline (the CI job
@@ -845,6 +971,53 @@ def test_no_minic_regression_against_committed_baseline(minic_report):
         f"mini-C scanner speedup {measured}x collapsed an order of magnitude "
         f"below baseline {reference}x (gate floor {floor}x)"
     )
+
+
+def test_recovery_delta_snapshot_meets_speedup_floor(recovery_report):
+    """PR 10 acceptance: an incremental snapshot must be at least an order of
+    magnitude cheaper than a full checkpoint of the same space."""
+    speedup = recovery_report["delta_speedup_vs_full"]
+    assert speedup is not None and speedup >= REQUIRED_RECOVERY_DELTA_SPEEDUP, (
+        f"delta snapshot only {speedup}x over a full checkpoint "
+        f"(floor {REQUIRED_RECOVERY_DELTA_SPEEDUP}x): the dirty-block "
+        f"tracking is not paying off"
+    )
+
+
+def test_recovery_rollback_meets_reboot_gate(recovery_report):
+    """PR 10 acceptance: rolling back to the last good snapshot must beat the
+    from-scratch reboot it replaces by at least the checkpoint gate."""
+    speedup = recovery_report["rollback_speedup_vs_scratch"]
+    assert speedup is not None and speedup >= REQUIRED_RESTART_SPEEDUP, (
+        f"rollback only {speedup}x over a from-scratch reboot "
+        f"(floor {REQUIRED_RESTART_SPEEDUP}x)"
+    )
+
+
+def test_recovery_times_are_positive(recovery_report):
+    for column, value in recovery_report.items():
+        assert value is not None and value > 0, column
+
+
+def test_no_recovery_regression_against_committed_baseline(recovery_report):
+    """CI gate: the rollback speedup must not collapse by an order of
+    magnitude against the committed v7 ``recovery.*`` columns."""
+    if not ENFORCE:
+        pytest.skip("baseline enforcement disabled (set REPRO_BENCH_ENFORCE=1)")
+    baseline = _load_baseline()
+    if not baseline or "recovery" not in baseline:
+        pytest.skip("committed baseline predates the recovery columns "
+                    "(schema < v7)")
+    for column in ("delta_speedup_vs_full", "rollback_speedup_vs_scratch"):
+        reference = baseline["recovery"].get(column)
+        measured = recovery_report[column]
+        if reference is None or measured is None:
+            continue
+        floor = min(reference, OOB_BASELINE_SPEEDUP_CAP) / OOB_REGRESSION_FACTOR
+        assert measured >= floor, (
+            f"{column}: {measured}x collapsed an order of magnitude below "
+            f"baseline {reference}x (gate floor {floor}x)"
+        )
 
 
 def test_no_oob_flood_regression_against_committed_baseline(flood_report):

@@ -45,6 +45,20 @@ just one server's stream)::
     python -m repro fleet run -i apache:failure-oblivious:4 -i pine:bounds-check \\
         --requests 100000 --workers 8 --sqlite-out fleet.sqlite
     python -m repro fleet report fleet.sqlite
+
+Self-healing mode: supervise every instance with incremental snapshots and
+rollback recovery, optionally under seeded fault injection::
+
+    python -m repro fleet run -i apache:failure-oblivious:2 \\
+        --recover 32 --retry-budget 1 --fault-every 50
+
+Memory forensics: capture before/after snapshots around a server's
+documented attack and diff them block by block (optionally joining per-site
+error counts from an exported trace)::
+
+    python -m repro forensics capture pine --policy failure-oblivious \\
+        --before pre.snap --after post.snap --trace pine.jsonl
+    python -m repro forensics diff pre.snap post.snap --trace pine.jsonl
 """
 
 from __future__ import annotations
@@ -197,6 +211,25 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run_parser.add_argument("--max-seconds", type=float, default=None,
                                   help="wall-clock budget; remaining requests "
                                        "are dropped once exceeded")
+    fleet_run_parser.add_argument("--recover", type=int, default=None,
+                                  metavar="SNAPSHOT_EVERY",
+                                  help="self-healing mode: supervise every "
+                                       "instance with an incremental snapshot "
+                                       "every N requests and rollback recovery")
+    fleet_run_parser.add_argument("--retry-budget", type=int, default=1,
+                                  help="fatal retries per request before it is "
+                                       "quarantined (with --recover)")
+    fleet_run_parser.add_argument("--fault-rate", type=float, default=0.0,
+                                  help="inject a seeded fault on this fraction "
+                                       "of first attempts (implies recovery)")
+    fleet_run_parser.add_argument("--fault-every", type=int, default=None,
+                                  help="inject a seeded fault every Nth first "
+                                       "attempt (implies recovery)")
+    fleet_run_parser.add_argument("--fault-kinds", default=None,
+                                  metavar="KIND[,KIND...]",
+                                  help="comma-separated fault kinds to draw "
+                                       "from (abort, alloc-fail, corrupt; "
+                                       "default: all)")
 
     fleet_report_parser = fleet_sub.add_parser(
         "report", help="rebuild the per-instance table from an exported trace"
@@ -204,6 +237,39 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_report_parser.add_argument(
         "file", help="SQLite (or JSONL) trace from a fleet run"
     )
+
+    forensics_parser = subparsers.add_parser(
+        "forensics", help="capture memory snapshots and diff them block by block"
+    )
+    forensics_sub = forensics_parser.add_subparsers(
+        dest="forensics_command", required=True
+    )
+
+    capture_parser = forensics_sub.add_parser(
+        "capture",
+        help="snapshot a server before and after its documented attack",
+    )
+    capture_parser.add_argument("server", choices=ENGINE.profile_names())
+    capture_parser.add_argument("--policy", choices=sorted(POLICY_NAMES),
+                                default="failure-oblivious")
+    capture_parser.add_argument("--scale", type=float, default=0.25,
+                                help="workload scale factor")
+    capture_parser.add_argument("--before", default="before.snap",
+                                help="path for the pre-attack snapshot")
+    capture_parser.add_argument("--after", default="after.snap",
+                                help="path for the post-attack snapshot")
+    capture_parser.add_argument("--trace", default=None, metavar="OUT",
+                                help="also export the run's telemetry stream "
+                                     "as JSONL to this path")
+
+    diff_parser = forensics_sub.add_parser(
+        "diff", help="show which 4 KiB blocks changed between two snapshots"
+    )
+    diff_parser.add_argument("snapshot_a", help="earlier snapshot file")
+    diff_parser.add_argument("snapshot_b", help="later snapshot file")
+    diff_parser.add_argument("--trace", default=None,
+                             help="trace export (JSONL or SQLite); joins "
+                                  "per-site memory-error counts to the diff")
 
     def add_trace_filters(parser: argparse.ArgumentParser) -> None:
         parser.add_argument("file", help="trace produced by `repro trace export` "
@@ -424,6 +490,9 @@ def parse_instance_spec(text: str, attack_every: int, arrival: str,
 
 
 def _command_fleet_run(args: argparse.Namespace) -> int:
+    from repro.recovery import RecoveryPolicy
+    from repro.recovery.faults import FAULT_KINDS
+
     spec_texts = args.instance if args.instance else list(_DEFAULT_FLEET)
     try:
         specs = [
@@ -434,19 +503,37 @@ def _command_fleet_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     history_limit = None if args.unbounded_history else args.history_limit
-    result = run_fleet(
-        specs,
-        total_requests=args.requests,
-        seed=args.seed,
-        workers=args.workers,
-        shards=args.shards,
-        scale=args.scale,
-        history_limit=history_limit,
-        allow_unbounded_history=args.unbounded_history,
-        sqlite_path=args.sqlite_out,
-        stats_every=args.stats_every,
-        max_seconds=args.max_seconds,
-    )
+    recovery = None
+    if args.recover is not None:
+        recovery = RecoveryPolicy(
+            snapshot_every=args.recover, retry_budget=args.retry_budget
+        )
+    fault_kinds = FAULT_KINDS
+    if args.fault_kinds:
+        fault_kinds = tuple(
+            kind.strip() for kind in args.fault_kinds.split(",") if kind.strip()
+        )
+    try:
+        result = run_fleet(
+            specs,
+            total_requests=args.requests,
+            seed=args.seed,
+            workers=args.workers,
+            shards=args.shards,
+            scale=args.scale,
+            history_limit=history_limit,
+            allow_unbounded_history=args.unbounded_history,
+            sqlite_path=args.sqlite_out,
+            stats_every=args.stats_every,
+            max_seconds=args.max_seconds,
+            recovery=recovery,
+            fault_rate=args.fault_rate,
+            fault_every=args.fault_every,
+            fault_kinds=fault_kinds,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(format_fleet_table(result))
     if result.stats.snapshots:
         print(f"stats: {len(result.stats.snapshots)} snapshot(s), "
@@ -471,6 +558,115 @@ def _command_fleet(args: argparse.Namespace) -> int:
         return _command_fleet_run(args)
     if args.fleet_command == "report":
         return _command_fleet_report(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _trace_site_counts(path: str) -> Dict[str, int]:
+    """Aggregate per-site memory-error counts from an exported trace."""
+    from repro.telemetry.events import RequestEnd, from_record
+
+    counts: Dict[str, int] = {}
+    for record in iter_trace_records(path):
+        try:
+            event = from_record(record)
+        except (ValueError, KeyError, TypeError):
+            continue
+        if isinstance(event, RequestEnd):
+            for site, count in event.error_sites:
+                counts[site] = counts.get(site, 0) + count
+    return counts
+
+
+def _command_forensics_capture(args: argparse.Namespace) -> int:
+    """Boot a server, snapshot, run its documented attack, snapshot again.
+
+    The two files are ``repro-snapshot/v1`` sparse images; ``repro forensics
+    diff`` then shows exactly which 4 KiB blocks the attack dirtied.
+    """
+    from repro.recovery import save_snapshot
+
+    profile = ENGINE.profile(args.server)
+    if profile.attack_request is None:
+        print(f"error: {args.server} has no documented attack", file=sys.stderr)
+        return 2
+    session = TelemetrySession() if args.trace else None
+    try:
+        if session is not None:
+            session.__enter__()
+        try:
+            server = ENGINE.build_server(
+                args.server, args.policy, plant_attack=True, scale=args.scale
+            )
+            boot = server.start()
+            if boot.fatal:
+                print(
+                    f"error: {args.server}/{args.policy} dies at boot "
+                    f"({boot.outcome.value}); nothing to snapshot",
+                    file=sys.stderr,
+                )
+                return 1
+            for follow_up in profile.make_follow_ups():
+                server.process(follow_up)
+            label = f"{args.server}/{args.policy}"
+            before = save_snapshot(
+                args.before, server.ctx.space.checkpoint(), label=f"{label} pre-attack"
+            )
+            attack = server.process(profile.make_attack_request())
+            after = save_snapshot(
+                args.after, server.ctx.space.checkpoint(), label=f"{label} post-attack"
+            )
+            server.stop()
+        finally:
+            if session is not None:
+                session.__exit__(None, None, None)
+                written = session.merge(args.trace)
+                print(f"exported {written} event(s) to {args.trace}", file=sys.stderr)
+    finally:
+        if session is not None:
+            session.cleanup()
+    print(f"server            : {args.server}")
+    print(f"build             : {args.policy}")
+    print(f"attack request    : {attack.outcome.value}")
+    print(f"pre-attack image  : {args.before} "
+          f"({before['blocks']} blocks, {before['payload_bytes']} bytes)")
+    print(f"post-attack image : {args.after} "
+          f"({after['blocks']} blocks, {after['payload_bytes']} bytes)")
+    print(f"next              : python -m repro forensics diff "
+          f"{args.before} {args.after}"
+          + (f" --trace {args.trace}" if args.trace else ""))
+    return 0
+
+
+def _command_forensics_diff(args: argparse.Namespace) -> int:
+    from repro.recovery import diff_snapshots, format_diff, load_snapshot
+
+    try:
+        cp_a, label_a = load_snapshot(args.snapshot_a)
+        cp_b, label_b = load_snapshot(args.snapshot_b)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        diff = diff_snapshots(
+            cp_a, cp_b,
+            a_label=label_a or args.snapshot_a,
+            b_label=label_b or args.snapshot_b,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    site_counts = None
+    if args.trace is not None:
+        site_counts = _trace_site_counts(args.trace)
+    print(format_diff(diff, site_counts=site_counts))
+    return 0
+
+
+def _command_forensics(args: argparse.Namespace) -> int:
+    if args.forensics_command == "capture":
+        return _command_forensics_capture(args)
+    if args.forensics_command == "diff":
+        return _command_forensics_diff(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -548,6 +744,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_minic(args)
     if args.command == "fleet":
         return _command_fleet(args)
+    if args.command == "forensics":
+        return _command_forensics(args)
     if args.command == "trace":
         return _command_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -10,8 +10,15 @@ Two entry points, one semantics:
   trace (SQLite or JSONL — sniffed), by replaying each instance's events
   through the *same* :class:`~repro.fleet.scheduler.FleetTallySink` the live
   scheduler attaches.  Because the scheduler also routes drops through the
-  event stream, every stream-derived column matches the live run exactly;
-  only the live-only monitor columns (boot deaths, restarts) read 0 here.
+  event stream, every stream-derived column matches the live run exactly.
+  Recovery extends the replay: a
+  :class:`~repro.telemetry.events.RollbackPerformed` carrying a request id
+  cancels that attempt's request count (retry or quarantine is the terminal
+  disposition), a :class:`~repro.telemetry.events.RequestQuarantined` *is*
+  the terminal disposition, and monitor restarts appear as boot-image
+  rollbacks with no request id.  Only boot deaths and the clone-time boot
+  retry remain live-only (they happen before any sink is attached) — the
+  ``restarts`` column here counts the stream-visible restart work.
 """
 
 from __future__ import annotations
@@ -20,7 +27,12 @@ from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.fleet.scheduler import FleetResult, FleetTallySink, InstanceTally
 from repro.harness.report import format_simple_table
-from repro.telemetry.events import RequestEnd, from_record
+from repro.telemetry.events import (
+    RequestEnd,
+    RequestQuarantined,
+    RollbackPerformed,
+    from_record,
+)
 from repro.telemetry.summary import iter_trace_records
 
 
@@ -55,13 +67,30 @@ def fleet_report_from_trace(path: str) -> List[InstanceTally]:
             tallies[scenario].requests += 1
             if event.is_attack:
                 tallies[scenario].attack_requests += 1
+        elif isinstance(event, RollbackPerformed) and event.request_id is not None:
+            # A rolled-back attempt is not a request: the supervisor retried
+            # or quarantined it, and that terminal event carries the count.
+            tallies[scenario].requests -= 1
+            if event.is_attack:
+                tallies[scenario].attack_requests -= 1
+        elif isinstance(event, RequestQuarantined):
+            tallies[scenario].requests += 1
+            if event.is_attack:
+                tallies[scenario].attack_requests += 1
     for scenario, sink in sinks.items():
         tally = tallies[scenario]
         tally.legitimate_served = sink.legitimate_served
         tally.legitimate_failed = sink.legitimate_failed + sink.legitimate_dropped
         tally.dropped = sink.legitimate_dropped + sink.attacks_dropped
+        tally.deadline_dropped = sink.deadline_dropped
         tally.attacks_survived = sink.attacks_survived
         tally.server_deaths = sink.server_deaths
+        tally.restarts = sink.boot_restarts
+        tally.rollbacks = sink.rollbacks
+        tally.quarantined = sink.quarantined
+        tally.quarantined_attacks = sink.quarantined_attacks
+        tally.snapshots = sink.snapshots
+        tally.faults_injected = sink.faults_injected
         tally.memory_errors_logged = sink.memory_errors
         tally.error_sites = dict(sink.error_sites)
     return [tallies[scenario] for scenario in sorted(tallies)]
@@ -80,6 +109,8 @@ def _rows(tallies: Iterable[InstanceTally]) -> List[Sequence[object]]:
             tally.attacks_survived,
             tally.server_deaths,
             tally.restarts,
+            tally.rollbacks,
+            tally.quarantined + tally.quarantined_attacks,
             tally.memory_errors_logged,
             f"{tally.availability:.4f}",
         )
@@ -89,8 +120,30 @@ def _rows(tallies: Iterable[InstanceTally]) -> List[Sequence[object]]:
 
 _HEADERS = (
     "inst", "server", "policy", "requests", "served", "failed", "dropped",
-    "survived", "deaths", "restarts", "errors", "availability",
+    "survived", "deaths", "restarts", "rollbacks", "quarantined", "errors",
+    "availability",
 )
+
+
+def _recovery_footer(tallies: Sequence[InstanceTally]) -> List[str]:
+    """Summary lines derivable from tallies alone (live or from-trace)."""
+    lines: List[str] = []
+    deadline_dropped = sum(t.deadline_dropped for t in tallies)
+    if deadline_dropped:
+        lines.append(
+            f"DEADLINE HIT: {deadline_dropped} request(s) dropped by the "
+            "wall-clock budget"
+        )
+    rollbacks = sum(t.rollbacks for t in tallies)
+    quarantined = sum(t.quarantined + t.quarantined_attacks for t in tallies)
+    snapshots = sum(t.snapshots for t in tallies)
+    faults = sum(t.faults_injected for t in tallies)
+    if rollbacks or quarantined or snapshots or faults:
+        lines.append(
+            f"recovery: {snapshots} snapshots, {rollbacks} rollbacks, "
+            f"{quarantined} quarantined, {faults} faults injected"
+        )
+    return lines
 
 
 def format_fleet_table(
@@ -115,10 +168,13 @@ def format_fleet_table(
             f"{result.wall_seconds:.2f}s"
             + ("; DEADLINE HIT (wall-clock budget)" if result.deadline_hit else "")
         )
+        lines.extend(_recovery_footer(tallies))
         if result.sqlite_path:
             lines.append(f"telemetry: {result.sqlite_path} (SQLite)")
         return "\n".join(lines)
-    return format_simple_table(_HEADERS, _rows(result), title=title)
+    lines = [format_simple_table(_HEADERS, _rows(result), title=title)]
+    lines.extend(_recovery_footer(result))
+    return "\n".join(lines)
 
 
 __all__ = ["fleet_report_from_trace", "format_fleet_table"]

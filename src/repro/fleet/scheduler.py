@@ -27,9 +27,20 @@ budget expires) are **dropped**: the scheduler emits a synthetic
 instance's bus.  That one decision is what makes ``repro fleet report``
 exact — the live tallies and any streaming export (SQLite spills merged in
 shard order, JSONL session spills) see the *same* event stream, so counts
-re-derived from an export equal the live ones by construction.  Only boot
-failures and monitor restarts are live-only bookkeeping (no request exists
-to attribute them to).
+re-derived from an export equal the live ones by construction.  Monitor
+restarts flow through the stream too
+(:class:`~repro.telemetry.events.RollbackPerformed` with
+``to_boot_image=True`` and no request id); only boot failures and the
+clone-time boot retry remain live-only bookkeeping (no sink is attached
+yet when they happen).
+
+PR 10 adds the self-healing mode: ``run_fleet(recovery=...)`` wraps every
+live instance in a
+:class:`~repro.recovery.supervisor.RecoverySupervisor` (incremental
+snapshots, rollback + retry on fatal faults, poison-request quarantine),
+optionally driven by per-instance seeded fault injection — all of it
+flowing through the same event stream, so the export-equals-live property
+extends to rollbacks, quarantines, and injected faults.
 """
 
 from __future__ import annotations
@@ -51,16 +62,29 @@ from repro.fleet.traffic import (
 )
 from repro.harness.stability import WorkloadTallySink
 from repro.memory.shared_image import SharedImageStore
+from repro.recovery.faults import FAULT_KINDS, FaultInjector
+from repro.recovery.supervisor import RecoveryPolicy, RecoverySupervisor
 from repro.servers.base import ProcessImage, Server, bounded_history_limit
-from repro.telemetry.events import RequestEnd
+from repro.telemetry.events import (
+    FaultInjected,
+    RequestEnd,
+    RequestQuarantined,
+    RollbackPerformed,
+    SnapshotTaken,
+)
 from repro.telemetry.session import current_session
 from repro.telemetry.sqlite import SqliteSink, merge_sqlite
 from repro.telemetry.stats import StatsSink
 
 #: Outcome stamped on the synthetic RequestEnd the scheduler emits for a
-#: request that never reached a live server (instance down past restart, or
-#: wall-clock budget exhausted).  Distinct from every RequestOutcome value.
+#: request that never reached a live server (instance down past restart).
+#: Distinct from every RequestOutcome value.
 DROPPED_OUTCOME = "dropped"
+
+#: Outcome stamped on requests dropped because the wall-clock budget
+#: (``max_seconds``) expired.  A distinct outcome so an export alone answers
+#: "did this run hit its deadline, and how much of the tail was cut?".
+DEADLINE_OUTCOME = "dropped-deadline"
 
 #: State inherited by forked shard workers (set immediately before the pool
 #: is created, cleared after; never pickled).
@@ -92,19 +116,68 @@ class FleetTallySink(WorkloadTallySink):
     instead of a side counter); a dropped attack counts as neither survived
     nor fatal — the attack never ran.  Because drops are ordinary events,
     re-feeding an export through this sink reproduces the live tallies.
+
+    The recovery events extend the same contract:
+
+    * :class:`~repro.telemetry.events.RollbackPerformed` carrying a
+      ``request_id`` cancels that attempt's failure count for legitimate
+      requests — the supervisor's retry or quarantine is the terminal word
+      on the request, so the rolled-back attempt must not count as failed
+      service (``server_deaths`` stands: the attempt really did kill the
+      server);
+    * :class:`~repro.telemetry.events.RequestQuarantined` is the terminal
+      disposition of a poison request (tallied separately — neither served
+      nor failed, and excluded from the availability denominator);
+    * deadline drops (:data:`DEADLINE_OUTCOME`) count as drops *and* feed a
+      ``deadline_dropped`` counter, so a wall-clock-budget run is
+      interpretable from its export alone.
     """
 
     def __init__(self) -> None:
         super().__init__()
         self.legitimate_dropped = 0
         self.attacks_dropped = 0
+        self.deadline_dropped = 0
+        self.rollbacks = 0
+        self.boot_restarts = 0
+        self.quarantined = 0
+        self.quarantined_attacks = 0
+        self.snapshots = 0
+        self.faults_injected = 0
 
     def emit(self, event: object) -> None:
-        if isinstance(event, RequestEnd) and event.outcome == DROPPED_OUTCOME:
+        if isinstance(event, RequestEnd) and event.outcome in (
+            DROPPED_OUTCOME, DEADLINE_OUTCOME,
+        ):
+            if event.outcome == DEADLINE_OUTCOME:
+                self.deadline_dropped += 1
             if event.is_attack:
                 self.attacks_dropped += 1
             else:
                 self.legitimate_dropped += 1
+            return
+        if isinstance(event, RollbackPerformed):
+            if event.to_boot_image:
+                self.boot_restarts += 1
+            else:
+                self.rollbacks += 1
+            if event.request_id is not None and not event.is_attack:
+                # Cancel the rolled-back attempt's failure: its RequestEnd
+                # already counted legitimate_failed, but retry/quarantine is
+                # the terminal disposition for this request.
+                self.legitimate_failed -= 1
+            return
+        if isinstance(event, RequestQuarantined):
+            if event.is_attack:
+                self.quarantined_attacks += 1
+            else:
+                self.quarantined += 1
+            return
+        if isinstance(event, SnapshotTaken):
+            self.snapshots += 1
+            return
+        if isinstance(event, FaultInjected):
+            self.faults_injected += 1
             return
         super().emit(event)
 
@@ -213,10 +286,16 @@ class InstanceTally:
     legitimate_served: int = 0
     legitimate_failed: int = 0
     dropped: int = 0
+    deadline_dropped: int = 0
     attacks_survived: int = 0
     server_deaths: int = 0
     boot_deaths: int = 0
     restarts: int = 0
+    rollbacks: int = 0
+    quarantined: int = 0
+    quarantined_attacks: int = 0
+    snapshots: int = 0
+    faults_injected: int = 0
     memory_errors_logged: int = 0
     error_sites: Dict[str, int] = field(default_factory=dict)
 
@@ -226,10 +305,17 @@ class InstanceTally:
 
     @property
     def availability(self) -> float:
-        """Fraction of legitimate requests served (1.0 when none arrived)."""
-        if self.legitimate_requests == 0:
+        """Fraction of legitimate requests served (1.0 when none arrived).
+
+        Quarantined requests are excluded from the denominator: the
+        supervisor's retry budget established they are poison inputs, and
+        the interesting ratio is how the server treated the traffic it could
+        have served.
+        """
+        eligible = self.legitimate_requests - self.quarantined
+        if eligible <= 0:
             return 1.0
-        return self.legitimate_served / self.legitimate_requests
+        return self.legitimate_served / eligible
 
     def as_dict(self) -> Dict[str, object]:
         """Order-independent tally dict (what serial == pooled compares)."""
@@ -242,10 +328,16 @@ class InstanceTally:
             "legitimate_served": self.legitimate_served,
             "legitimate_failed": self.legitimate_failed,
             "dropped": self.dropped,
+            "deadline_dropped": self.deadline_dropped,
             "attacks_survived": self.attacks_survived,
             "server_deaths": self.server_deaths,
             "boot_deaths": self.boot_deaths,
             "restarts": self.restarts,
+            "rollbacks": self.rollbacks,
+            "quarantined": self.quarantined,
+            "quarantined_attacks": self.quarantined_attacks,
+            "snapshots": self.snapshots,
+            "faults_injected": self.faults_injected,
             "memory_errors_logged": self.memory_errors_logged,
             "error_sites": dict(sorted(self.error_sites.items())),
         }
@@ -293,6 +385,10 @@ class FleetResult:
         return self._sum("dropped")
 
     @property
+    def deadline_dropped(self) -> int:
+        return self._sum("deadline_dropped")
+
+    @property
     def attacks_survived(self) -> int:
         return self._sum("attacks_survived")
 
@@ -305,12 +401,32 @@ class FleetResult:
         return self._sum("restarts")
 
     @property
+    def rollbacks(self) -> int:
+        return self._sum("rollbacks")
+
+    @property
+    def quarantined(self) -> int:
+        return self._sum("quarantined") + self._sum("quarantined_attacks")
+
+    @property
+    def snapshots(self) -> int:
+        return self._sum("snapshots")
+
+    @property
+    def faults_injected(self) -> int:
+        return self._sum("faults_injected")
+
+    @property
     def availability(self) -> float:
-        """Fleet-wide fraction of legitimate requests served."""
-        legitimate = self.legitimate_requests
-        if legitimate == 0:
+        """Fleet-wide fraction of legitimate requests served.
+
+        Like the per-instance ratio, quarantined legitimate requests are
+        excluded from the denominator.
+        """
+        eligible = self.legitimate_requests - self._sum("quarantined")
+        if eligible <= 0:
             return 1.0
-        return self.legitimate_served / legitimate
+        return self.legitimate_served / eligible
 
     @property
     def requests_per_sec(self) -> float:
@@ -352,6 +468,14 @@ class _FleetRun:
     stats_every: int
     spill_dir: Optional[str]
     deadline: Optional[float]
+    recovery: Optional[RecoveryPolicy] = None
+    fault_rate: float = 0.0
+    fault_every: Optional[int] = None
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+
+    @property
+    def inject_faults(self) -> bool:
+        return self.fault_rate > 0.0 or self.fault_every is not None
 
     def build_clone(self, instance: FleetInstance) -> Server:
         from repro.harness.engine import ENGINE
@@ -404,14 +528,16 @@ def split_instances(instances: Sequence[FleetInstance], shards: int) -> List[Lis
 # ---------------------------------------------------------------------------
 
 
-def _drop(server: Server, fleet_request: FleetRequest) -> None:
+def _drop(
+    server: Server, fleet_request: FleetRequest, outcome: str = DROPPED_OUTCOME
+) -> None:
     """Emit the synthetic dropped RequestEnd for a request that never ran."""
     request = fleet_request.request
     server.ctx.bus.emit(
         RequestEnd(
             request_id=request.request_id,
             kind=request.kind,
-            outcome=DROPPED_OUTCOME,
+            outcome=outcome,
             is_attack=request.is_attack,
         )
     )
@@ -440,6 +566,7 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
 
     servers: Dict[int, Server] = {}
     sinks: Dict[int, FleetTallySink] = {}
+    supervisors: Dict[int, RecoverySupervisor] = {}
     boot_deaths: Dict[int, int] = {}
     restarts: Dict[int, int] = {}
     for instance in instances:
@@ -462,6 +589,23 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
             server.add_telemetry_sink(
                 sqlite_sink.scoped(dict(server.ctx.bus.scope), instance.index)
             )
+        if run.recovery is not None and server.alive:
+            # Self-healing mode: every live instance gets a supervisor (its
+            # base snapshot is this post-clone state) and, when fault
+            # injection is on, a per-*instance* injector — the schedule is a
+            # pure function of (seed, instance index), so serial and pooled
+            # runs inject identically.
+            injector = None
+            if run.inject_faults:
+                injector = FaultInjector(
+                    derive_seed(run.seed, "faults", instance.index),
+                    rate=run.fault_rate,
+                    every=run.fault_every,
+                    kinds=run.fault_kinds,
+                )
+            supervisors[instance.index] = RecoverySupervisor(
+                server, run.recovery, injector=injector
+            )
         servers[instance.index] = server
 
     session = current_session()
@@ -470,18 +614,31 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
     def dispatch(server: Server, fleet_request: FleetRequest) -> None:
         nonlocal deadline_hit
         if deadline_hit:
-            _drop(server, fleet_request)
+            _drop(server, fleet_request, DEADLINE_OUTCOME)
             return
         if run.deadline is not None and time.monotonic() > run.deadline:
             # Budget exhausted: the rest of the timeline is dropped through
             # the event stream, so exports stay exact even in wall-clock mode.
             deadline_hit = True
-            _drop(server, fleet_request)
+            _drop(server, fleet_request, DEADLINE_OUTCOME)
+            return
+        supervisor = supervisors.get(fleet_request.instance)
+        if supervisor is not None:
+            # The supervisor owns the recovery path: the server is alive
+            # when submit returns (rollback, retry, quarantine, or
+            # boot-image degradation all end with a serving instance).
+            supervisor.submit(fleet_request.request)
             return
         if not server.alive:
             if run.restart_on_death:
                 server.restart()
                 restarts[fleet_request.instance] += 1
+                # Monitor restarts also flow through the event stream (boot
+                # retries at clone time stay live-only: no sink is attached
+                # yet), so exports can count restart work.
+                server.ctx.bus.emit(RollbackPerformed(
+                    snapshot_index=0, request_id=None, to_boot_image=True,
+                ))
                 if not server.alive:
                     boot_deaths[fleet_request.instance] += 1
             if not server.alive:
@@ -523,6 +680,7 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
         instance_requests = [
             fr for fr in timeline if fr.instance == instance.index
         ]
+        supervisor = supervisors.get(instance.index)
         tallies.append(
             InstanceTally(
                 index=instance.index,
@@ -535,10 +693,17 @@ def _run_fleet_shard(run: "_FleetRun", index: int) -> _FleetShardOutcome:
                 legitimate_served=sink.legitimate_served,
                 legitimate_failed=sink.legitimate_failed + sink.legitimate_dropped,
                 dropped=sink.legitimate_dropped + sink.attacks_dropped,
+                deadline_dropped=sink.deadline_dropped,
                 attacks_survived=sink.attacks_survived,
                 server_deaths=sink.server_deaths,
                 boot_deaths=boot_deaths[instance.index],
-                restarts=restarts[instance.index],
+                restarts=restarts[instance.index]
+                + (supervisor.boot_restarts if supervisor is not None else 0),
+                rollbacks=sink.rollbacks,
+                quarantined=sink.quarantined,
+                quarantined_attacks=sink.quarantined_attacks,
+                snapshots=sink.snapshots,
+                faults_injected=sink.faults_injected,
                 memory_errors_logged=sink.memory_errors,
                 error_sites=dict(sink.error_sites),
             )
@@ -579,6 +744,10 @@ def run_fleet(
     sqlite_path: Optional[str] = None,
     stats_every: int = 10_000,
     max_seconds: Optional[float] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    fault_rate: float = 0.0,
+    fault_every: Optional[int] = None,
+    fault_kinds: Sequence[str] = FAULT_KINDS,
 ) -> FleetResult:
     """Run a fleet soak: boot one template per group, clone, schedule, tally.
 
@@ -592,11 +761,23 @@ def run_fleet(
     dropped through the event stream (tallies then depend on machine speed —
     use the request-count budget for reproducible runs).
 
+    ``recovery`` switches every live instance into self-healing mode: a
+    :class:`~repro.recovery.supervisor.RecoverySupervisor` per instance
+    replaces boot-image restarts with last-good-snapshot rollbacks, bounded
+    retries, and poison-request quarantine.  ``fault_rate``/``fault_every``
+    add a per-instance seeded
+    :class:`~repro.recovery.faults.FaultInjector` (kinds drawn from
+    ``fault_kinds``); fault injection implies supervision, so a default
+    :class:`~repro.recovery.supervisor.RecoveryPolicy` is used when faults
+    are requested without an explicit policy.
+
     The per-request history of every instance is bounded (``history_limit``),
     and — because a fleet is the 10^6-request path — an unbounded history is
     refused unless ``allow_unbounded_history=True`` is passed explicitly.
     """
     global _POOL_FLEET
+    if recovery is None and (fault_rate > 0.0 or fault_every is not None):
+        recovery = RecoveryPolicy()
     history_limit = bounded_history_limit(
         history_limit, allow_unbounded=allow_unbounded_history, harness="run_fleet"
     )
@@ -679,6 +860,10 @@ def run_fleet(
         stats_every=stats_every,
         spill_dir=spill_dir,
         deadline=(time.monotonic() + max_seconds) if max_seconds is not None else None,
+        recovery=recovery,
+        fault_rate=fault_rate,
+        fault_every=fault_every,
+        fault_kinds=tuple(fault_kinds),
     )
 
     count = 0 if workers is None else int(workers)
@@ -742,6 +927,7 @@ def run_fleet(
 
 
 __all__ = [
+    "DEADLINE_OUTCOME",
     "DROPPED_OUTCOME",
     "FleetInstance",
     "FleetResult",

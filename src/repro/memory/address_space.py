@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import SegmentationFault
 
@@ -108,6 +108,44 @@ class AddressSpaceCheckpoint:
     raw_reads: int
     raw_writes: int
     touched_blocks: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class AddressSpaceDelta:
+    """The blocks dirtied since the previous checkpoint, as an immutable record.
+
+    A delta is O(dirty blocks) to capture, which is what makes mid-run
+    snapshot cadences affordable: a request that scribbles a few KiB costs a
+    few 4 KiB block copies, not a copy of the whole address space.  Deltas
+    chain: ``parent_epoch`` names the checkpoint (full or delta) the dirty
+    tracking was relative to, so replaying base + deltas in order rebuilds
+    the exact segment bytes of any snapshot in the chain
+    (:class:`~repro.memory.checkpoint_stream.CheckpointStream` owns that
+    replay).
+
+    ``blocks`` maps segment name to ``((block_index, payload), ...)`` in
+    ascending block order.  Payloads are bytes-like — ``bytes``, or read-only
+    ``memoryview``s when the delta has been appended into shared memory —
+    and are DIRTY_BLOCK long except for a segment's final partial block.
+    """
+
+    epoch: int
+    parent_epoch: Optional[int]
+    blocks: Tuple[Tuple[str, Tuple[Tuple[int, bytes], ...]], ...]
+    raw_reads: int
+    raw_writes: int
+
+    @property
+    def block_count(self) -> int:
+        """Total number of dirty blocks captured across all segments."""
+        return sum(len(entries) for _name, entries in self.blocks)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total payload size in bytes (the cost of storing this delta)."""
+        return sum(
+            len(payload) for _name, entries in self.blocks for _idx, payload in entries
+        )
 
 
 def _block_runs(blocks):
@@ -341,6 +379,84 @@ class AddressSpace:
                 for segment in self._ordered
             ),
         )
+
+    @property
+    def clean_epoch(self) -> Optional[int]:
+        """Epoch the dirty sets are tracked against (None: no checkpoint yet)."""
+        return self._clean_epoch
+
+    def delta_checkpoint(self) -> AddressSpaceDelta:
+        """Capture only the blocks dirtied since the previous checkpoint.
+
+        Costs O(dirty blocks) instead of O(address-space size).  Like
+        :meth:`checkpoint` it resets the dirty tracking and starts a new
+        epoch, so deltas chain: the returned record's ``parent_epoch`` is the
+        epoch this space was clean against when the delta was taken.  Raises
+        if no checkpoint has ever been taken (a delta needs a base to chain
+        from).
+        """
+        if self._clean_epoch is None:
+            raise ValueError(
+                "delta_checkpoint() needs a base checkpoint to chain from"
+            )
+        epoch = next(_checkpoint_epochs)
+        parent = self._clean_epoch
+        blocks = []
+        for segment in self._ordered:
+            entries = []
+            view = segment.view
+            for index in sorted(segment.dirty):
+                start = index << _DIRTY_SHIFT
+                entries.append((index, bytes(view[start : start + DIRTY_BLOCK])))
+            blocks.append((segment.name, tuple(entries)))
+            segment.touched |= segment.dirty
+            segment.dirty.clear()
+        self._clean_epoch = epoch
+        return AddressSpaceDelta(
+            epoch=epoch,
+            parent_epoch=parent,
+            blocks=tuple(blocks),
+            raw_reads=self.raw_reads,
+            raw_writes=self.raw_writes,
+        )
+
+    def apply_block_patch(
+        self,
+        updates: Mapping[str, Iterable[Tuple[int, bytes]]],
+        *,
+        epoch: int,
+        raw_reads: int,
+        raw_writes: int,
+        touched: Mapping[str, Set[int]],
+    ) -> int:
+        """Overwrite specific blocks and adopt a checkpoint's identity.
+
+        The replay primitive under :class:`~repro.memory.checkpoint_stream.CheckpointStream`:
+        the caller has computed exactly which blocks differ between the
+        space's current contents and some snapshot in a delta chain, and
+        supplies each such block's payload at that snapshot.  After the
+        patch the space is clean with respect to ``epoch``, the per-segment
+        ``touched`` sets are replaced with the supplied ones, and the raw
+        access counters are adopted — the same postconditions
+        :meth:`restore` establishes, at O(differing blocks) cost.  Returns
+        the number of blocks written.
+        """
+        written = 0
+        for segment in self._ordered:
+            data = segment.data
+            for index, payload in updates.get(segment.name, ()):
+                start = index << _DIRTY_SHIFT
+                data[start : start + len(payload)] = payload
+                written += 1
+            new_touched = touched.get(segment.name)
+            if new_touched is not None:
+                segment.touched = set(new_touched)
+            segment.dirty.clear()
+        self.raw_reads = raw_reads
+        self.raw_writes = raw_writes
+        self._last_segment = None
+        self._clean_epoch = epoch
+        return written
 
     def restore(self, cp: AddressSpaceCheckpoint) -> None:
         """Reset every segment to the checkpointed contents.

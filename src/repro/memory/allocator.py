@@ -17,7 +17,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import DoubleFree, HeapCorruption
+from repro.errors import DoubleFree, HeapCorruption, SegmentationFault
 from repro.memory.address_space import AddressSpace
 from repro.memory.data_unit import DataUnit, UnitKind, make_unit
 from repro.memory.object_table import ObjectTable
@@ -89,6 +89,10 @@ class HeapAllocator:
         self.allocations = 0
         self.frees = 0
         self.bytes_allocated = 0
+        #: Armed allocation failures (fault injection).  Harness state, not
+        #: image state: checkpoints do not capture it and restores do not
+        #: reset it — the injector that armed it owns its lifecycle.
+        self._fail_next = 0
         # Like glibc's top chunk, the wilderness carries an in-band header; an
         # overflow off the end of the most recent allocation smashes it, and
         # the corruption is discovered at the next allocator operation.
@@ -136,6 +140,15 @@ class HeapAllocator:
         """
         if size < 0:
             raise ValueError("allocation size must be non-negative")
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            # The C story: malloc returns NULL, the server dereferences it
+            # unchecked, and the process takes a segmentation fault — which
+            # is what the request classifier (and the paper) call a crash.
+            raise SegmentationFault(
+                0, f"injected allocation failure: {name!r} got NULL and "
+                   "dereferenced it"
+            )
         user_size = max(size, MIN_BLOCK)
         total = HEADER_SIZE + user_size
         header_addr = self._take_free_chunk(total)
@@ -162,6 +175,37 @@ class HeapAllocator:
                                     size=unit.size, base=user_base,
                                     request_id=self.bus.current_request_id))
         return unit
+
+    def header_addresses(self) -> List[int]:
+        """Every in-band header address the next heap walk will verify.
+
+        Live chunk headers, free-list chunk headers, and the top
+        (wilderness) header, in ascending address order — a stable,
+        deterministic enumeration of the fault injector's corruption
+        targets.  Smashing any of them is discovered by
+        :meth:`verify_heap` (or an earlier allocator operation) as
+        :class:`~repro.errors.HeapCorruption`.
+        """
+        headers = [base - HEADER_SIZE for base in self._live]
+        headers.extend(addr for addr, _total in self._free)
+        if self._brk + HEADER_SIZE <= self._heap_end:
+            headers.append(self._brk)
+        return sorted(headers)
+
+    def inject_failure(self, count: int = 1) -> None:
+        """Arm the next ``count`` allocations to fail with a simulated crash.
+
+        The fault injector's malloc-failure lever.  Each armed failure makes
+        one :meth:`malloc` raise :class:`~repro.errors.SegmentationFault`
+        (the unchecked-NULL-dereference model) instead of allocating.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._fail_next += count
+
+    def clear_injected_failures(self) -> None:
+        """Disarm any pending injected allocation failures."""
+        self._fail_next = 0
 
     def calloc(self, count: int, size: int, name: str = "calloc") -> DataUnit:
         """Allocate and zero ``count * size`` bytes."""

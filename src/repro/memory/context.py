@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.core.policy import AccessPolicy
 from repro.core.policies import FailureObliviousPolicy
 from repro.memory.accessor import MemoryAccessor
-from repro.memory.address_space import AddressSpace, AddressSpaceCheckpoint
+from repro.memory.address_space import (
+    AddressSpace,
+    AddressSpaceCheckpoint,
+    AddressSpaceDelta,
+)
 from repro.memory.allocator import HeapAllocator, HeapAllocatorCheckpoint
 from repro.memory.cstring import read_c_string, write_c_string
 from repro.memory.object_table import ObjectTable, ObjectTableCheckpoint
@@ -40,6 +44,29 @@ class MemoryImage:
 
     policy_name: str
     space: AddressSpaceCheckpoint
+    table: ObjectTableCheckpoint
+    heap: HeapAllocatorCheckpoint
+    stack: CallStackCheckpoint
+    site: str
+    request_id: Optional[int]
+    policy_state: dict
+
+
+@dataclass(frozen=True)
+class MemoryDelta:
+    """An incremental checkpoint: dirty segment blocks plus full side state.
+
+    The address-space bytes dominate checkpoint cost by orders of magnitude,
+    so only they are captured incrementally
+    (:class:`~repro.memory.address_space.AddressSpaceDelta`); the object
+    table, allocator, stack, and policy side state are small pure-data
+    records and are captured whole — a delta is therefore self-contained for
+    everything except segment bytes, and restoring snapshot *k* is "replay
+    block deltas up to *k*, then adopt delta *k*'s components verbatim".
+    """
+
+    policy_name: str
+    space: AddressSpaceDelta
     table: ObjectTableCheckpoint
     heap: HeapAllocatorCheckpoint
     stack: CallStackCheckpoint
@@ -186,6 +213,60 @@ class MemoryContext:
             policy_state=self.policy.checkpoint_state(),
         )
 
+    def delta_checkpoint(self) -> MemoryDelta:
+        """Capture an incremental checkpoint: O(dirty blocks) of segment bytes.
+
+        Chains from the most recent :meth:`checkpoint` or
+        :meth:`delta_checkpoint` (the space refuses to produce a delta with
+        no base to chain from).  Non-segment components are captured whole —
+        they are small pure-data records — so the delta restores via
+        :meth:`restore_components` exactly like a full image once the
+        segment bytes have been replayed.
+        """
+        return MemoryDelta(
+            policy_name=self.policy.name,
+            space=self.space.delta_checkpoint(),
+            table=self.table.checkpoint(),
+            heap=self.heap.checkpoint(),
+            stack=self.stack.checkpoint(),
+            site=self.mem.current_site,
+            request_id=self.mem.current_request_id,
+            policy_state=self.policy.checkpoint_state(),
+        )
+
+    def restore_components(
+        self,
+        *,
+        table: ObjectTableCheckpoint,
+        heap: HeapAllocatorCheckpoint,
+        stack: CallStackCheckpoint,
+        site: str,
+        request_id: Optional[int],
+        policy_state: dict,
+        restore_space: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Restore everything around the segment bytes, in dependency order.
+
+        ``restore_space`` is invoked between the table rebuild and the
+        allocator/stack restores — the point where :meth:`restore` resets
+        the segment bytes.  Callers that replay bytes some other way (the
+        checkpoint stream's block patches) pass their replay here so the
+        ordering invariants hold for them too.
+        """
+        units_by_base = self.table.restore(table)
+        # The table rebuild does not fire death hooks (an image swap is not a
+        # program-visible unit death), so the accessor's decision cache —
+        # which may hold a pre-restore unit — is evicted explicitly.
+        self.mem.invalidate_cache()
+        if restore_space is not None:
+            restore_space()
+        self.heap.restore(heap, units_by_base)
+        self.stack.restore(stack, units_by_base)
+        self.mem.set_site(site)
+        self.mem.set_request(request_id)
+        self.bus.current_request_id = request_id
+        self.policy.restore_state(policy_state)
+
     def restore(self, image: MemoryImage) -> None:
         """Reset the process image to a checkpoint.
 
@@ -201,15 +282,12 @@ class MemoryContext:
                 f"cannot restore a {image.policy_name!r} image into a "
                 f"{self.policy.name!r} context"
             )
-        units_by_base = self.table.restore(image.table)
-        # The table rebuild does not fire death hooks (an image swap is not a
-        # program-visible unit death), so the accessor's decision cache —
-        # which may hold a pre-restore unit — is evicted explicitly.
-        self.mem.invalidate_cache()
-        self.space.restore(image.space)
-        self.heap.restore(image.heap, units_by_base)
-        self.stack.restore(image.stack, units_by_base)
-        self.mem.set_site(image.site)
-        self.mem.set_request(image.request_id)
-        self.bus.current_request_id = image.request_id
-        self.policy.restore_state(image.policy_state)
+        self.restore_components(
+            table=image.table,
+            heap=image.heap,
+            stack=image.stack,
+            site=image.site,
+            request_id=image.request_id,
+            policy_state=image.policy_state,
+            restore_space=lambda: self.space.restore(image.space),
+        )

@@ -53,6 +53,10 @@ class SharedImageStore:
         #: a buffer keeps the underlying mmap pinned.
         self._views: List[memoryview] = []
         self.closed = False
+        #: Current append-arena chunk for :meth:`share_payload` (lazy).
+        self._arena_block: Optional["_shared_memory.SharedMemory"] = None
+        self._arena_offset = 0
+        self._arena_size = 0
 
     # -- sharing -----------------------------------------------------------------
 
@@ -98,6 +102,45 @@ class SharedImageStore:
             offset = end
         return dataclasses.replace(cp, segments=tuple(segments))
 
+    #: Arena chunk size for :meth:`share_payload`.  Delta payloads are a few
+    #: KiB each; 1 MiB chunks keep the number of ``/dev/shm`` entries small
+    #: while wasting at most one chunk tail per stream.
+    ARENA_CHUNK = 1024 * 1024
+
+    def share_payload(self, data: bytes) -> "bytes | memoryview":
+        """Append a small payload into the shared arena, returning a view.
+
+        The append-side of checkpoint *streams*: each incremental snapshot's
+        dirty-block payloads are copied once into a chunked shared-memory
+        arena, so forked workers read the whole snapshot history zero-copy
+        through the inherited mapping.  Chunks are allocated lazily
+        (``ARENA_CHUNK`` bytes, or the payload size when larger) and owned by
+        this store like any other block.  Degrades to returning the bytes
+        unchanged when sharing is unavailable.
+        """
+        size = len(data)
+        if _shared_memory is None or self.closed or size == 0:
+            return bytes(data)
+        if self._arena_block is None or self._arena_offset + size > self._arena_size:
+            try:
+                block = _shared_memory.SharedMemory(
+                    create=True, size=max(size, self.ARENA_CHUNK)
+                )
+            except OSError:  # pragma: no cover - /dev/shm full or unavailable
+                return bytes(data)
+            self._blocks.append(block)
+            self._arena_block = block
+            self._arena_size = block.size
+            self._arena_offset = 0
+        buf = self._arena_block.buf
+        start = self._arena_offset
+        end = start + size
+        buf[start:end] = data
+        view = buf[start:end].toreadonly()
+        self._views.append(view)
+        self._arena_offset = end
+        return view
+
     def share_image(self, image: MemoryImage) -> MemoryImage:
         """Return ``image`` with its address-space payload in shared memory."""
         shared = self.share_space(image.space)
@@ -131,6 +174,8 @@ class SharedImageStore:
                 except FileNotFoundError:  # pragma: no cover - already gone
                     pass
         self._blocks.clear()
+        self._arena_block = None
+        self._arena_offset = self._arena_size = 0
 
     def __enter__(self) -> "SharedImageStore":
         return self

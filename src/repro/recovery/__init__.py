@@ -1,0 +1,39 @@
+"""The self-healing layer: snapshot cadences, rollback recovery, forensics.
+
+Built on the incremental checkpoint streams
+(:class:`~repro.memory.checkpoint_stream.CheckpointStream`):
+
+* :class:`~repro.recovery.supervisor.RecoverySupervisor` wraps any
+  :class:`~repro.servers.base.Server` with a snapshot cadence and replaces
+  boot-image restarts with last-good-snapshot rollbacks, bounded retries,
+  poison-request quarantine, and loop-degradation back to the boot image.
+* :class:`~repro.recovery.faults.FaultInjector` drives every recovery path
+  deterministically: seeded aborts, failed allocations, and heap-metadata
+  corruption at fixed points in the request lifecycle.
+* :mod:`repro.recovery.forensics` saves snapshots to disk and diffs them
+  block by block (``repro forensics diff``) — the corruption-propagation
+  measurement the paper never had.
+"""
+
+from repro.recovery.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from repro.recovery.forensics import (
+    SnapshotDiff,
+    diff_snapshots,
+    format_diff,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.recovery.supervisor import RecoveryPolicy, RecoverySupervisor
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "RecoverySupervisor",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "format_diff",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,180 @@
+"""Seeded, deterministic fault injection for the recovery layer.
+
+The supervisor's recovery paths — rollback, retry, quarantine, loop
+degradation — only matter if something exercises them.  :class:`FaultInjector`
+is that something: a seeded source of three fault kinds, fired at fixed
+points of the request lifecycle through :attr:`Server.fault_hook`:
+
+* ``"abort"`` — raise a :class:`~repro.errors.SegmentationFault` before or
+  after the handler (the process took a signal mid-request);
+* ``"alloc-fail"`` — arm the allocator so the request's next ``malloc``
+  fails as an unchecked NULL dereference
+  (:meth:`~repro.memory.allocator.HeapAllocator.inject_failure`);
+* ``"corrupt"`` — smash a seeded in-band heap header (a live chunk's, a free
+  chunk's, or the wilderness top's), so the allocator's next metadata walk
+  (the same request's end-of-request heap verification at the latest) dies
+  with :class:`~repro.errors.HeapCorruption`.
+
+All three are *transient*: the fault fires on a request's first attempt only,
+so a rollback + retry observes the fault-free execution — which is exactly
+the model (a cosmic ray, not a poison input).  Decisions consume the seeded
+RNG once per request in submission order, so a fleet shard's fault schedule
+is a pure function of ``(seed, instance)`` and serial vs pooled runs inject
+identically.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SegmentationFault
+from repro.memory.allocator import HEADER_MAGIC
+from repro.servers.base import Request, Server
+from repro.telemetry.events import FaultInjected
+
+FAULT_KINDS: Tuple[str, ...] = ("abort", "alloc-fail", "corrupt")
+
+_MAGIC_WORD = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One decided fault: what to inject and at which lifecycle point."""
+
+    kind: str
+    point: str  # "before" or "after" the handler
+
+
+class FaultInjector:
+    """Decides and fires deterministic faults for one supervised server.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG; all decisions are a pure function of it and
+        the submission order.
+    rate:
+        Probability that a request's first attempt draws a fault.  Mutually
+        exclusive with ``every``.
+    every:
+        Fire on every Nth first attempt instead of probabilistically —
+        the exact-count mode tests and benchmarks prefer.
+    kinds:
+        The fault kinds to draw from (default: all three).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 0.0,
+        every: Optional[int] = None,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if every is not None and every <= 0:
+            raise ValueError("every must be positive")
+        if rate > 0.0 and every is not None:
+            raise ValueError("rate and every are mutually exclusive")
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if not kinds:
+            raise ValueError("kinds must not be empty")
+        self.rng = random.Random(seed)
+        self.rate = rate
+        self.every = every
+        self.kinds = tuple(kinds)
+        #: First attempts seen (the decision counter for ``every`` mode).
+        self.decisions = 0
+        #: Faults actually fired.
+        self.injected = 0
+        self._plan: Optional[FaultPlan] = None
+
+    # -- supervisor protocol ------------------------------------------------------
+
+    def begin_attempt(self, server: Server, request: Request, attempt: int) -> None:
+        """Draw (or suppress) the fault plan for one processing attempt.
+
+        Retries (``attempt > 0``) never fault: the injected faults model
+        transient conditions a rollback recovers from.  Only first attempts
+        consume RNG state, so the schedule is independent of how many
+        retries earlier requests needed.
+        """
+        if attempt > 0:
+            self._plan = None
+            return
+        self.decisions += 1
+        if self.every is not None:
+            fire = self.decisions % self.every == 0
+        else:
+            fire = self.rng.random() < self.rate
+        if not fire:
+            self._plan = None
+            return
+        kind = self.kinds[self.rng.randrange(len(self.kinds))]
+        if kind == "abort":
+            point = "before" if self.rng.random() < 0.5 else "after"
+        else:
+            # Allocation failures must be armed before the handler runs, and
+            # corruption planted before the end-of-request heap walk so the
+            # fault is discovered within the same request.
+            point = "before"
+        self._plan = FaultPlan(kind=kind, point=point)
+
+    def end_attempt(self, server: Server) -> None:
+        """Disarm anything left over from the attempt (armed but unconsumed).
+
+        Called after every attempt — completed or rolled back — so an armed
+        allocation failure never leaks into a later request's execution.
+        """
+        server.ctx.heap.clear_injected_failures()
+        self._plan = None
+
+    # -- the server-side hook -----------------------------------------------------
+
+    def hook(self, server: Server, request: Request, point: str) -> None:
+        """The :attr:`Server.fault_hook` entry point; fires the planned fault."""
+        plan = self._plan
+        if plan is None or plan.point != point:
+            return
+        self._plan = None
+        if plan.kind == "abort":
+            self.injected += 1
+            server.ctx.bus.emit(FaultInjected(
+                kind="abort", request_id=request.request_id, point=point,
+            ))
+            raise SegmentationFault(
+                0xDEAD, "injected abort: the process took a signal mid-request"
+            )
+        if plan.kind == "alloc-fail":
+            self.injected += 1
+            server.ctx.heap.inject_failure(1)
+            server.ctx.bus.emit(FaultInjected(
+                kind="alloc-fail", request_id=request.request_id, point=point,
+            ))
+            return
+        # "corrupt": smash a seeded in-band heap header (live chunk, free
+        # chunk, or the wilderness top — there is always at least the top).
+        # The RNG is consumed whether or not a target exists, so the
+        # schedule stays a pure function of the submission order.
+        index_draw = self.rng.randrange(1 << 30)
+        junk = self.rng.randrange(1, 1 << 32)
+        headers = server.ctx.heap.header_addresses()
+        if not headers:
+            return  # degenerate heap layout; the fault fizzles
+        header_addr = headers[index_draw % len(headers)]
+        # XOR with a nonzero word: guaranteed to no longer be the magic.
+        server.ctx.space.write(header_addr, _MAGIC_WORD.pack(HEADER_MAGIC ^ junk))
+        self.injected += 1
+        server.ctx.bus.emit(FaultInjected(
+            kind="corrupt", request_id=request.request_id,
+            address=header_addr, length=_MAGIC_WORD.size, point=point,
+        ))
+
+    def install(self, server: Server) -> None:
+        """Install this injector as the server's fault hook."""
+        server.fault_hook = self.hook

@@ -1,0 +1,222 @@
+"""Memory forensics: persist snapshots and diff them block by block.
+
+The corruption-propagation experiment the paper never had: take an address
+space snapshot before and after an attack (the checkpoint stream makes both
+O(dirty)), persist each as a *sparse* file — only the blocks ever touched
+are stored, untouched blocks are zero by the substrate's invariant — and
+diff them to see exactly which 4 KiB blocks the attack dirtied.  Paired with
+per-site error counts from a trace export, the diff answers "how far did
+the corruption actually spread, and through which sites?".
+
+File format (``repro-snapshot/v1``): one JSON header line (segment layout,
+epoch, counters, per-segment stored-block indices, an optional free-text
+label), followed by the raw block payloads concatenated in header order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.address_space import DIRTY_BLOCK, AddressSpaceCheckpoint
+
+FORMAT = "repro-snapshot/v1"
+
+
+def _segment_blocks(size: int) -> int:
+    return -(-size // DIRTY_BLOCK)
+
+
+def save_snapshot(
+    path: str, cp: AddressSpaceCheckpoint, label: str = ""
+) -> Dict[str, int]:
+    """Write one checkpoint to ``path`` sparsely; returns size accounting.
+
+    Only the blocks listed in ``touched_blocks`` are stored (every other
+    block is all zeros by the substrate invariant).  Checkpoints without
+    touched-block data store every block.  Returns ``{"blocks": n,
+    "payload_bytes": n}`` for the caller's reporting.
+    """
+    touched_map = dict(cp.touched_blocks)
+    header: Dict[str, object] = {
+        "format": FORMAT,
+        "label": label,
+        "epoch": cp.epoch,
+        "raw_reads": cp.raw_reads,
+        "raw_writes": cp.raw_writes,
+        "segments": [],
+    }
+    payloads: List[bytes] = []
+    blocks_stored = 0
+    for name, base, contents in cp.segments:
+        size = len(contents)
+        stored = touched_map.get(name)
+        if stored is None:
+            stored = tuple(range(_segment_blocks(size)))
+        else:
+            stored = tuple(sorted(stored))
+        header["segments"].append(
+            {"name": name, "base": base, "size": size, "blocks": list(stored)}
+        )
+        for block in stored:
+            start = block * DIRTY_BLOCK
+            payloads.append(bytes(contents[start : start + DIRTY_BLOCK]))
+            blocks_stored += 1
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(header).encode("utf-8") + b"\n")
+        for payload in payloads:
+            handle.write(payload)
+    return {
+        "blocks": blocks_stored,
+        "payload_bytes": sum(len(p) for p in payloads),
+    }
+
+
+def load_snapshot(path: str) -> Tuple[AddressSpaceCheckpoint, str]:
+    """Read a :func:`save_snapshot` file back; returns ``(checkpoint, label)``.
+
+    The returned checkpoint has fully materialized segment payloads
+    (unstored blocks zero-filled) and exact ``touched_blocks``, so it diffs,
+    restores, and compares like any live checkpoint.
+    """
+    with open(path, "rb") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except ValueError:
+            raise ValueError(f"{path} is not a {FORMAT} snapshot") from None
+        if not isinstance(header, dict) or header.get("format") != FORMAT:
+            raise ValueError(f"{path} is not a {FORMAT} snapshot")
+        segments = []
+        touched_blocks = []
+        for meta in header["segments"]:
+            size = int(meta["size"])
+            data = bytearray(size)
+            for block in meta["blocks"]:
+                start = block * DIRTY_BLOCK
+                want = min(DIRTY_BLOCK, size - start)
+                payload = handle.read(want)
+                if len(payload) != want:
+                    raise ValueError(f"{path} is truncated")
+                data[start : start + want] = payload
+            segments.append((meta["name"], int(meta["base"]), bytes(data)))
+            touched_blocks.append(
+                (meta["name"], tuple(int(b) for b in meta["blocks"]))
+            )
+    cp = AddressSpaceCheckpoint(
+        epoch=int(header["epoch"]),
+        segments=tuple(segments),
+        raw_reads=int(header["raw_reads"]),
+        raw_writes=int(header["raw_writes"]),
+        touched_blocks=tuple(touched_blocks),
+    )
+    return cp, str(header.get("label", ""))
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """Block-level difference between two snapshots of one layout.
+
+    ``segments`` maps segment name to ``(base, changed block indices)``;
+    segments with no changed blocks are omitted.
+    """
+
+    segments: Tuple[Tuple[str, int, Tuple[int, ...]], ...]
+    a_label: str = ""
+    b_label: str = ""
+
+    @property
+    def changed_blocks(self) -> int:
+        """Total number of blocks that differ."""
+        return sum(len(blocks) for _name, _base, blocks in self.segments)
+
+    @property
+    def changed_bytes(self) -> int:
+        """Upper bound on differing bytes (block granularity)."""
+        return self.changed_blocks * DIRTY_BLOCK
+
+
+def diff_snapshots(
+    a: AddressSpaceCheckpoint,
+    b: AddressSpaceCheckpoint,
+    a_label: str = "",
+    b_label: str = "",
+) -> SnapshotDiff:
+    """Byte-compare two snapshots block by block.
+
+    Candidates are the union of both sides' touched blocks (a block neither
+    side ever wrote is zero on both); each candidate is then actually
+    compared, so rewriting a block with identical bytes does not count.
+    The two snapshots must map the same segments at the same bases/sizes.
+    """
+    layout_a = {name: (base, len(data)) for name, base, data in a.segments}
+    layout_b = {name: (base, len(data)) for name, base, data in b.segments}
+    if layout_a != layout_b:
+        raise ValueError(
+            "snapshots map different segment layouts; diffing is meaningless"
+        )
+    touched_a = dict(a.touched_blocks)
+    touched_b = dict(b.touched_blocks)
+    contents_a = {name: data for name, _base, data in a.segments}
+    contents_b = {name: data for name, _base, data in b.segments}
+    out = []
+    for name, (base, size) in sorted(layout_a.items(), key=lambda kv: kv[1][0]):
+        if name in touched_a and name in touched_b:
+            candidates = sorted(set(touched_a[name]) | set(touched_b[name]))
+        else:
+            candidates = range(_segment_blocks(size))
+        data_a = contents_a[name]
+        data_b = contents_b[name]
+        changed = tuple(
+            block
+            for block in candidates
+            if bytes(data_a[block * DIRTY_BLOCK : (block + 1) * DIRTY_BLOCK])
+            != bytes(data_b[block * DIRTY_BLOCK : (block + 1) * DIRTY_BLOCK])
+        )
+        if changed:
+            out.append((name, base, changed))
+    return SnapshotDiff(
+        segments=tuple(out), a_label=a_label, b_label=b_label
+    )
+
+
+def _runs(blocks: Tuple[int, ...]):
+    start = prev = blocks[0]
+    for block in blocks[1:]:
+        if block != prev + 1:
+            yield start, prev
+            start = block
+        prev = block
+    yield start, prev
+
+
+def format_diff(
+    diff: SnapshotDiff,
+    site_counts: Optional[Dict[str, int]] = None,
+) -> str:
+    """Render a diff (and optional per-site error counts) for the terminal."""
+    lines = []
+    labels = " -> ".join(label for label in (diff.a_label, diff.b_label) if label)
+    if labels:
+        lines.append(f"diff: {labels}")
+    if not diff.segments:
+        lines.append("no blocks differ")
+        return "\n".join(lines)
+    lines.append(
+        f"{diff.changed_blocks} block(s) of {DIRTY_BLOCK} bytes differ"
+    )
+    for name, base, blocks in diff.segments:
+        lines.append(f"  {name} ({len(blocks)} block(s)):")
+        for start, end in _runs(blocks):
+            lo = base + start * DIRTY_BLOCK
+            hi = base + (end + 1) * DIRTY_BLOCK
+            count = end - start + 1
+            span = f"block {start}" if count == 1 else f"blocks {start}-{end}"
+            lines.append(f"    {span}  [{lo:#010x}, {hi:#010x})")
+    if site_counts:
+        lines.append("memory errors by site (from trace):")
+        ranked = sorted(site_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for site, count in ranked:
+            lines.append(f"  {count:8d}  {site}")
+    return "\n".join(lines)

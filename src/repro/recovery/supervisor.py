@@ -1,0 +1,211 @@
+"""Rollback-recovery supervision: snapshot cadence, retry, quarantine.
+
+The paper's serving model restarts a dead server from its boot image,
+losing every request since boot.  :class:`RecoverySupervisor` wraps a
+:class:`~repro.servers.base.Server` with the incremental checkpoint stream
+so a fatal fault costs only the work since the *last snapshot*:
+
+1. every ``snapshot_every`` successful requests, take an O(dirty-blocks)
+   snapshot (memory via :class:`~repro.memory.checkpoint_stream.CheckpointStream`,
+   handler state via :meth:`Server.capture_handler_state`), emitting
+   :class:`~repro.telemetry.events.SnapshotTaken`;
+2. on a fatal request, roll back to the last snapshot
+   (:class:`~repro.telemetry.events.RollbackPerformed`), accumulate
+   *virtual-time* exponential backoff (no real sleeping — the fleet's clock
+   is virtual), and retry the request up to ``retry_budget`` times;
+3. a request that stays fatal through its budget is *quarantined*
+   (:class:`~repro.telemetry.events.RequestQuarantined`): its terminal
+   disposition flows through the event stream exactly like the fleet's
+   boot-fatal drops, and the server — already rolled back — keeps serving;
+4. ``loop_threshold`` consecutive recoveries without a single successful
+   request degrade to a full boot-image restart
+   (``RollbackPerformed(to_boot_image=True)``) and a fresh stream — the
+   escape hatch for a snapshot that itself captured corrupted state.
+
+Tally invariant (what makes ``fleet report`` exact from an export): every
+fatal attempt's ``RequestEnd`` is followed by exactly one
+``RollbackPerformed`` carrying that ``request_id`` — consumers cancel the
+attempt's failure count, because retry or quarantine is the terminal word
+on that request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import RequestResult
+from repro.memory.checkpoint_stream import CheckpointStream
+from repro.recovery.faults import FaultInjector
+from repro.servers.base import Request, Server
+from repro.telemetry.events import (
+    RequestQuarantined,
+    RollbackPerformed,
+    SnapshotTaken,
+)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tuning knobs for one supervised server."""
+
+    #: Take a snapshot every N successfully completed requests (1 = every
+    #: request; the cadence/coverage trade-off the benchmarks measure).
+    snapshot_every: int = 32
+    #: Fatal retries per request.  A request whose fatal attempts exceed the
+    #: budget (i.e. it killed the server ``retry_budget + 1`` times) is
+    #: quarantined; the default quarantines on the second kill.
+    retry_budget: int = 1
+    #: Consecutive recoveries with no successful request in between that
+    #: trigger the boot-image degradation.
+    loop_threshold: int = 4
+    #: Virtual-time backoff: ``backoff_base * backoff_factor**(attempt-1)``
+    #: seconds accumulated per recovery (never slept — the soak clock is
+    #: virtual).
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.loop_threshold <= 1:
+            raise ValueError("loop_threshold must be > 1")
+
+
+class RecoverySupervisor:
+    """Self-healing wrapper around one started server.
+
+    The server must be alive and started; construction takes the base
+    snapshot (snapshot 0) immediately.  All request traffic must then go
+    through :meth:`submit` — processing requests behind the supervisor's
+    back would desynchronize the snapshot chain (the stream detects this
+    and refuses to append).
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        policy: Optional[RecoveryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if not server.alive or not server.started:
+            raise ValueError("supervision requires a started, live server")
+        self.server = server
+        self.policy = policy or RecoveryPolicy()
+        self.injector = injector
+        if injector is not None:
+            injector.install(server)
+        self.stream = CheckpointStream(server.ctx)
+        #: Handler-state snapshots, parallel to the stream's indices.
+        self._states: List[dict] = [server.capture_handler_state()]
+        self._since_snapshot = 0
+        self._consecutive_recoveries = 0
+        # Lifetime counters (monotonic; rollbacks do not rewind them).
+        self.snapshots_taken = 0
+        self.rollbacks = 0
+        self.boot_restarts = 0
+        self.quarantined = 0
+        self.retried_ok = 0
+        self.virtual_backoff_seconds = 0.0
+
+    # -- the serving loop ---------------------------------------------------------
+
+    def submit(self, request: Request) -> RequestResult:
+        """Process one request under supervision.
+
+        Returns the terminal :class:`~repro.errors.RequestResult`: the
+        successful attempt's result, or the last fatal attempt's when the
+        request was quarantined.  Either way the server is alive afterwards.
+        """
+        attempt = 0
+        while True:
+            if self.injector is not None:
+                self.injector.begin_attempt(self.server, request, attempt)
+            result = self.server.process(request)
+            if self.injector is not None:
+                self.injector.end_attempt(self.server)
+            attempt += 1
+            if not result.fatal:
+                if attempt > 1:
+                    self.retried_ok += 1
+                self._consecutive_recoveries = 0
+                self._since_snapshot += 1
+                if self._since_snapshot >= self.policy.snapshot_every:
+                    self.take_snapshot(request_id=request.request_id)
+                return result
+            self._recover(request, attempt)
+            if attempt > self.policy.retry_budget:
+                self.quarantined += 1
+                self.server.ctx.bus.emit(RequestQuarantined(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    is_attack=request.is_attack,
+                    attempts=attempt,
+                ))
+                return result
+
+    def take_snapshot(self, request_id: Optional[int] = None) -> int:
+        """Capture a snapshot now (memory delta + handler state) and emit it."""
+        index = self.stream.snapshot()
+        delta = self.stream.deltas[index - 1]
+        self._states.append(self.server.capture_handler_state())
+        self._since_snapshot = 0
+        self.snapshots_taken += 1
+        self.server.ctx.bus.emit(SnapshotTaken(
+            index=index,
+            blocks=delta.space.block_count,
+            delta_bytes=delta.space.payload_bytes,
+            request_id=request_id,
+        ))
+        return index
+
+    # -- recovery -----------------------------------------------------------------
+
+    def _recover(self, request: Request, attempt: int) -> None:
+        """Bring the dead server back: snapshot rollback or boot-image restart.
+
+        Emits exactly one :class:`RollbackPerformed` carrying the fatal
+        request's id (its failed attempt is non-terminal — a retry or a
+        quarantine is the terminal disposition).
+        """
+        policy = self.policy
+        backoff = policy.backoff_base * policy.backoff_factor ** (attempt - 1)
+        self.virtual_backoff_seconds += backoff
+        self._consecutive_recoveries += 1
+        if self._consecutive_recoveries >= policy.loop_threshold:
+            # Rollback loop: the last-good snapshot may itself be poisoned.
+            # Degrade to the boot image and start a fresh stream from it.
+            self.server.restart()
+            self.boot_restarts += 1
+            self._consecutive_recoveries = 0
+            self.stream = CheckpointStream(self.server.ctx)
+            self._states = [self.server.capture_handler_state()]
+            self._since_snapshot = 0
+            self.server.ctx.bus.emit(RollbackPerformed(
+                snapshot_index=0,
+                request_id=request.request_id,
+                kind=request.kind,
+                is_attack=request.is_attack,
+                blocks_restored=0,
+                to_boot_image=True,
+                backoff_virtual_seconds=backoff,
+            ))
+            return
+        index = self.stream.latest
+        blocks = self.stream.restore(index)
+        self.server.restore_handler_state(self._states[index])
+        del self._states[index + 1 :]
+        self.server.alive = True
+        self.server.started = True
+        self.rollbacks += 1
+        self.server.ctx.bus.emit(RollbackPerformed(
+            snapshot_index=index,
+            request_id=request.request_id,
+            kind=request.kind,
+            is_attack=request.is_attack,
+            blocks_restored=blocks,
+            to_boot_image=False,
+            backoff_virtual_seconds=backoff,
+        ))

@@ -201,8 +201,16 @@ class Server(ABC):
     _IMAGE_EXCLUDED_FIELDS = frozenset({
         "policy_factory", "config", "_heap_size", "_stack_size", "policy",
         "ctx", "alive", "started", "requests_processed", "restarts",
-        "history", "_telemetry_sinks", "_image",
+        "history", "_telemetry_sinks", "_image", "fault_hook",
     })
+
+    #: Optional fault-injection hook, called as ``hook(server, request,
+    #: point)`` with ``point`` in ``{"before", "after"}`` around each
+    #: request's handler, inside the classification ``try`` — anything it
+    #: raises is classified exactly like a handler fault.  Installed by the
+    #: recovery layer's :class:`~repro.recovery.faults.FaultInjector`; not
+    #: part of the process image (it is harness machinery, like the sinks).
+    fault_hook: Optional[Callable[["Server", Request, str], None]] = None
 
     def __init__(
         self,
@@ -356,6 +364,31 @@ class Server(ABC):
             if key not in self._IMAGE_EXCLUDED_FIELDS
         })
 
+    def capture_handler_state(self) -> Dict[str, object]:
+        """Snapshot the subclass (handler) state as pure data.
+
+        The handler-side counterpart of ``ctx.checkpoint()``: the recovery
+        supervisor pairs one of these with each memory snapshot so a
+        rollback restores the parsed-configuration/session attributes the
+        handlers keep outside simulated memory, in lockstep with the memory
+        bytes.  Deep-copied both ways, so captured states are immutable
+        history.
+        """
+        return self._capture_state()
+
+    def restore_handler_state(self, state: Dict[str, object]) -> None:
+        """Reinstate a :meth:`capture_handler_state` snapshot.
+
+        Drops subclass attributes added since the capture, then installs
+        fresh deep copies of the captured ones (the snapshot stays pristine
+        however many times it is restored).  Lifecycle bookkeeping and
+        harness wiring (the ``_IMAGE_EXCLUDED_FIELDS``) are untouched.
+        """
+        for key in list(self.__dict__):
+            if key not in self._IMAGE_EXCLUDED_FIELDS and key not in state:
+                del self.__dict__[key]
+        self.__dict__.update(copy.deepcopy(state))
+
     def process(self, request: Request) -> RequestResult:
         """Handle one request, returning the classified outcome."""
         if not self.alive:
@@ -436,10 +469,7 @@ class Server(ABC):
         # Drop subclass state added since boot, then reinstate the boot-time
         # snapshot (fresh deep copies: the image stays pristine, and clones
         # sharing one image share no mutable state).
-        for key in list(self.__dict__):
-            if key not in self._IMAGE_EXCLUDED_FIELDS and key not in image.state:
-                del self.__dict__[key]
-        self.__dict__.update(copy.deepcopy(image.state))
+        self.restore_handler_state(image.state)
         boot = image.boot_result
         self.alive = not boot.fatal
         self.started = not boot.fatal
@@ -491,11 +521,15 @@ class Server(ABC):
         response: Optional[Response] = None
         error: Optional[BaseException] = None
         try:
+            if self.fault_hook is not None:
+                self.fault_hook(self, request, "before")
             response = handler(request)
             # Real heap corruption is usually discovered after the faulting
             # store, when the allocator next touches its metadata; model that
             # by walking the heap between requests.
             ctx.heap.verify_heap()
+            if self.fault_hook is not None:
+                self.fault_hook(self, request, "after")
             outcome = (
                 RequestOutcome.SERVED
                 if response.is_ok

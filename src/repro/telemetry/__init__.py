@@ -21,13 +21,17 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     AllocFree,
     Discard,
+    FaultInjected,
     InvalidAccess,
     Manufacture,
     Redirect,
     RequestEnd,
+    RequestQuarantined,
     RequestStart,
+    RollbackPerformed,
     ScenarioEnd,
     ScenarioStart,
+    SnapshotTaken,
     event_name,
     expand_invalid_accesses,
     from_record,
@@ -67,10 +71,14 @@ __all__ = [
     "InvalidAccess",
     "Manufacture",
     "Redirect",
+    "FaultInjected",
     "RequestEnd",
+    "RequestQuarantined",
     "RequestStart",
+    "RollbackPerformed",
     "ScenarioEnd",
     "ScenarioStart",
+    "SnapshotTaken",
     "event_name",
     "expand_invalid_accesses",
     "from_record",

@@ -37,6 +37,12 @@ as runs.
 * :class:`ScenarioStart` / :class:`ScenarioEnd` — one experiment scenario
   (one :class:`~repro.harness.engine.ScenarioSpec` run), demarcating the
   stream so exports of multi-scenario runs stay attributable.
+* :class:`SnapshotTaken` / :class:`RollbackPerformed` /
+  :class:`RequestQuarantined` / :class:`FaultInjected` — the self-healing
+  lifecycle (PR 10): incremental snapshots, rollback recoveries (and
+  boot-image restarts, flagged), poison-request quarantines, and injected
+  faults, all flowing through the same stream so ``fleet report`` rebuilds
+  recovery tallies from an export exactly.
 
 Every event type serializes to a flat JSON record via :func:`to_record` and
 back via :func:`from_record`; the round trip is exact (property-tested), which
@@ -179,6 +185,69 @@ class ScenarioEnd:
     seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class SnapshotTaken:
+    """A recovery supervisor captured one incremental snapshot.
+
+    ``index`` is the snapshot's position in its stream (0 is the base
+    image); ``blocks`` / ``delta_bytes`` are the dirty-block count and
+    payload size of the delta — the live record of what a cadence costs.
+    """
+
+    index: int
+    blocks: int = 0
+    delta_bytes: int = 0
+    request_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RollbackPerformed:
+    """A server was rolled back after a fatal fault (or restarted from boot).
+
+    ``request_id`` names the request whose fatal attempt triggered the
+    rollback when that attempt is *non-terminal* (the supervisor retries or
+    quarantines it); tally consumers use it to cancel the attempt's
+    failed-count.  ``request_id is None`` means the rollback did not undo a
+    terminal request disposition — the scheduler's restart-on-death path and
+    loop-degradation restarts.  ``to_boot_image`` distinguishes full
+    boot-image restarts from snapshot rollbacks.
+    """
+
+    snapshot_index: int
+    request_id: Optional[int] = None
+    kind: str = ""
+    is_attack: bool = False
+    blocks_restored: int = 0
+    to_boot_image: bool = False
+    backoff_virtual_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class RequestQuarantined:
+    """A poison request was dropped after killing the server repeatedly.
+
+    The terminal disposition of the request (its fatal attempts were each
+    cancelled by a :class:`RollbackPerformed`), mirroring how the fleet's
+    boot-fatal drops flow through the stream as synthetic request ends.
+    """
+
+    request_id: int
+    kind: str
+    is_attack: bool = False
+    attempts: int = 0
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault injector fired once (corruption, failed alloc, or abort)."""
+
+    kind: str
+    request_id: Optional[int] = None
+    address: int = 0
+    length: int = 0
+    point: str = ""
+
+
 #: Registry mapping the on-disk ``event`` tag to the event class.
 EVENT_TYPES: Dict[str, type] = {
     "invalid-access": InvalidAccess,
@@ -190,6 +259,10 @@ EVENT_TYPES: Dict[str, type] = {
     "request-end": RequestEnd,
     "scenario-start": ScenarioStart,
     "scenario-end": ScenarioEnd,
+    "snapshot-taken": SnapshotTaken,
+    "rollback": RollbackPerformed,
+    "request-quarantined": RequestQuarantined,
+    "fault-injected": FaultInjected,
 }
 
 _TYPE_NAMES = {cls: name for name, cls in EVENT_TYPES.items()}

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import warnings
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.telemetry.events import to_record
@@ -206,6 +207,11 @@ def merge_sqlite(paths: Sequence[str], out_path: str) -> int:
     blocks are sorted by (scenario id, discovery order), unscoped rows
     (scenario NULL) first.  ``paths`` should be in spec/shard order so
     discovery order is deterministic.  Returns the number of rows written.
+
+    A missing or unreadable spill (a worker died before flushing, a file was
+    cleaned up early) is skipped with a :class:`UserWarning` — losing one
+    worker's telemetry should degrade the export, not destroy the rest of
+    the run's.
     """
     if os.path.exists(out_path):
         os.unlink(out_path)
@@ -217,6 +223,14 @@ def merge_sqlite(paths: Sequence[str], out_path: str) -> int:
     blocks: List[tuple] = []
     total = 0
     for path in paths:
+        if not os.path.exists(path):
+            # sqlite3.connect would silently create an empty database here;
+            # surface the gap instead and merge what actually exists.
+            warnings.warn(
+                f"spill database {path!r} is missing; merging without it",
+                stacklevel=2,
+            )
+            continue
         spill = sqlite3.connect(path)
         try:
             block_key: object = None
@@ -234,6 +248,12 @@ def merge_sqlite(paths: Sequence[str], out_path: str) -> int:
                 total += 1
             if block_rows:
                 blocks.append((block_key, len(blocks), block_rows))
+        except sqlite3.Error as error:
+            warnings.warn(
+                f"spill database {path!r} is unreadable ({error}); "
+                "merging without it",
+                stacklevel=2,
+            )
         finally:
             spill.close()
     blocks.sort(key=lambda block: (block[0], block[1]))

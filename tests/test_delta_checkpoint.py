@@ -1,0 +1,217 @@
+"""Property tests for incremental checkpoint streams (delta chains).
+
+The two invariants everything in the recovery layer leans on:
+
+* **bit-identity** — materializing snapshot *k* from (base + deltas) via
+  :meth:`~repro.memory.checkpoint_stream.CheckpointStream.space_checkpoint`
+  reproduces, byte for byte, the segment contents the space actually had
+  when snapshot *k* was taken;
+* **restore idempotence** — ``stream.restore(k)`` brings the live space (and
+  the whole context: heap bookkeeping, object table, policy state) back to
+  exactly that recorded state, no matter what writes/allocs/frees/restores
+  happened in between, and doing it twice is a no-op.
+
+Both are exercised across *random interleavings* of heap traffic, snapshot
+points, and restores — including against the mini-C servers, whose frozen
+interpreter state rides in the handler-state half of the supervisor's
+snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import FailureObliviousPolicy
+from repro.memory.checkpoint_stream import CheckpointStream
+from repro.memory.context import MemoryContext
+from repro.memory.pointer import FatPointer
+
+
+def _segment_bytes(ctx: MemoryContext) -> dict:
+    """The observable raw memory: every segment's full contents."""
+    return {s.name: bytes(s.data) for s in ctx.space.segments()}
+
+
+#: One step of the random interleaving.  Weights favor mutation so chains
+#: carry real dirty blocks; snapshot/restore still occur often enough to
+#: build multi-delta histories and fork them.
+_STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=9000)),
+        st.tuples(st.just("write"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(st.just("snapshot"), st.just(0)),
+        st.tuples(st.just("restore"), st.integers(min_value=0, max_value=10**6)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestDeltaChainProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(steps=_STEPS, seed=st.integers(min_value=0, max_value=2**31))
+    def test_materialized_snapshots_are_bit_identical_and_restores_round_trip(
+        self, steps, seed
+    ):
+        """Acceptance: random write/free/restore interleavings preserve both
+        the (base + deltas) == full-checkpoint identity and restore
+        idempotence, for every snapshot still on the chain."""
+        import random
+
+        rng = random.Random(seed)
+        ctx = MemoryContext(FailureObliviousPolicy())
+        ctx.set_site("prop")
+        stream = CheckpointStream(ctx)
+        live = []
+        #: index -> raw segment bytes recorded the moment it was snapshot
+        #: (index 0 is the stream's base).  Truncated exactly like the
+        #: stream's own history on restore.
+        recorded = {0: _segment_bytes(ctx)}
+
+        for op, arg in steps:
+            if op == "malloc":
+                unit = ctx.malloc(arg, name="prop")
+                payload = bytes(rng.randrange(1, 256) for _ in range(min(arg, 64)))
+                ctx.mem.write(unit, payload)
+                live.append(unit)
+            elif op == "write" and live:
+                ptr = live[arg % len(live)]
+                span = rng.randrange(1, min(ptr.referent.size, 64) + 1)
+                ctx.mem.write(ptr, bytes(rng.randrange(256) for _ in range(span)))
+            elif op == "free" and live:
+                ctx.free(live.pop(arg % len(live)))
+            elif op == "snapshot":
+                index = stream.snapshot()
+                recorded[index] = _segment_bytes(ctx)
+            elif op == "restore":
+                target = arg % len(stream)
+                stream.restore(target)
+                # The restore is exact...
+                assert _segment_bytes(ctx) == recorded[target]
+                # ...idempotent...
+                stream.restore(target)
+                assert _segment_bytes(ctx) == recorded[target]
+                # ...and truncates the history (a fork point), so drop the
+                # recordings past it and resync the live-unit handles to the
+                # restored object table.
+                recorded = {k: v for k, v in recorded.items() if k <= target}
+                live = [
+                    FatPointer.to_unit(unit) for unit in ctx.table.live_units()
+                ]
+
+        # Every snapshot still on the chain materializes bit-identically to
+        # what the space actually contained when it was taken.
+        for index in range(len(stream)):
+            materialized = stream.space_checkpoint(index)
+            assert {
+                name: contents for name, _base, contents in materialized.segments
+            } == recorded[index], f"snapshot {index} diverged"
+        # And the delta chain really is incremental: everything after the
+        # base carries only block payloads, never whole segments.
+        total_segments = sum(len(s.data) for s in ctx.space.segments())
+        for delta in stream.deltas:
+            assert delta.space.payload_bytes <= total_segments
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps=_STEPS, seed=st.integers(min_value=0, max_value=2**31))
+    def test_changed_blocks_finds_exactly_the_differing_blocks(self, steps, seed):
+        """stream.changed_blocks(a, b) agrees with a brute-force byte diff
+        of the two materialized snapshots, at block granularity."""
+        import random
+
+        from repro.memory.address_space import DIRTY_BLOCK
+
+        rng = random.Random(seed)
+        ctx = MemoryContext(FailureObliviousPolicy())
+        stream = CheckpointStream(ctx)
+        live = []
+        for op, arg in steps:
+            if op == "malloc":
+                unit = ctx.malloc(arg, name="diff")
+                ctx.mem.write(unit, bytes(rng.randrange(256) for _ in range(8)))
+                live.append(unit)
+            elif op == "write" and live:
+                unit = live[arg % len(live)]
+                ctx.mem.write(unit, bytes(rng.randrange(256) for _ in range(8)))
+            elif op == "free" and live:
+                ctx.free(live.pop(arg % len(live)))
+            elif op == "snapshot":
+                stream.snapshot()
+        if len(stream) < 2:
+            stream.snapshot()
+        a = rng.randrange(len(stream))
+        b = rng.randrange(len(stream))
+        lo, hi = min(a, b), max(a, b)
+        cp_lo = {n: d for n, _b, d in stream.space_checkpoint(lo).segments}
+        cp_hi = {n: d for n, _b, d in stream.space_checkpoint(hi).segments}
+        brute = {}
+        for name in cp_lo:
+            blocks = [
+                i
+                for i in range(len(cp_lo[name]) // DIRTY_BLOCK + 1)
+                if cp_lo[name][i * DIRTY_BLOCK : (i + 1) * DIRTY_BLOCK]
+                != cp_hi[name][i * DIRTY_BLOCK : (i + 1) * DIRTY_BLOCK]
+            ]
+            if blocks:
+                brute[name] = blocks
+        assert stream.changed_blocks(lo, hi) == brute
+
+
+@pytest.mark.parametrize("server_name", ["minic-pine", "minic-sendmail"])
+class TestMinicServerDeltaChains:
+    """The mini-C servers freeze interpreter state into their images; delta
+    rollbacks must reproduce it exactly (the supervisor pairs the stream
+    with capture/restore_handler_state for exactly this)."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(plan=st.lists(st.sampled_from(["benign", "snap", "back"]),
+                         min_size=3, max_size=12))
+    def test_rollback_replays_identical_outcomes(self, server_name, plan):
+        from repro.harness.engine import ENGINE
+
+        server = ENGINE.build_server(
+            server_name, "failure-oblivious", plant_attack=True, scale=0.25
+        )
+        assert not server.start().fatal
+        profile = ENGINE.profile(server_name)
+        stream = CheckpointStream(server.ctx)
+        states = [server.capture_handler_state()]
+        recorded = {0: _segment_bytes(server.ctx)}
+        outcomes = {0: []}
+        index = 0
+        request_no = 0
+        for op in plan:
+            if op == "benign":
+                result = server.process(profile.make_request(
+                    profile.figure_rows[0].lower() if profile.figure_rows else "read",
+                    index=request_no,
+                ))
+                request_no += 1
+                outcomes[index].append(result.outcome)
+                assert not result.fatal
+            elif op == "snap":
+                index = stream.snapshot()
+                states.append(server.capture_handler_state())
+                recorded[index] = _segment_bytes(server.ctx)
+                outcomes[index] = []
+            else:  # back: roll all the way to the latest snapshot and replay
+                stream.restore(index)
+                server.restore_handler_state(states[index])
+                assert _segment_bytes(server.ctx) == recorded[index]
+                replayed = []
+                for i, expected in enumerate(outcomes[index]):
+                    result = server.process(profile.make_request(
+                        profile.figure_rows[0].lower() if profile.figure_rows else "read",
+                        index=i,
+                    ))
+                    replayed.append(result.outcome)
+                outcomes[index] = replayed
+        # The chain materializes bit-identically for every surviving index.
+        for k in range(len(stream)):
+            materialized = stream.space_checkpoint(k)
+            assert {
+                name: contents for name, _base, contents in materialized.segments
+            } == recorded[k]
+        server.stop()

@@ -235,6 +235,33 @@ class TestMergeOrdering:
         ids = [record["request_id"] for record in iter_sqlite_records(out)]
         assert ids == [5, 3, 4]
 
+    def test_missing_spill_warns_and_merges_the_rest(self, tmp_path):
+        """A worker that died before flushing must not destroy the export:
+        the gap warns, every readable spill still merges."""
+        spill_a = self._spill(tmp_path, "a", [(0, 1), (0, 2)])
+        spill_b = self._spill(tmp_path, "b", [(1, 10)])
+        missing = str(tmp_path / "never-written.sqlite")
+        out = str(tmp_path / "merged.sqlite")
+        with pytest.warns(UserWarning, match="never-written.*missing"):
+            written = merge_sqlite([spill_a, missing, spill_b], out)
+        assert written == 3
+        ids = [record["request_id"] for record in iter_sqlite_records(out)]
+        assert ids == [1, 2, 10]
+        # And the sniffing skip did not leave an empty database behind.
+        assert not os.path.exists(missing)
+
+    def test_unreadable_spill_warns_and_merges_the_rest(self, tmp_path):
+        spill_a = self._spill(tmp_path, "a", [(0, 1)])
+        garbage = str(tmp_path / "garbage.sqlite")
+        with open(garbage, "wb") as handle:
+            handle.write(b"this is not a sqlite database at all")
+        out = str(tmp_path / "merged.sqlite")
+        with pytest.warns(UserWarning, match="garbage.*unreadable"):
+            written = merge_sqlite([garbage, spill_a], out)
+        assert written == 1
+        ids = [record["request_id"] for record in iter_sqlite_records(out)]
+        assert ids == [1]
+
 
 class TestSummaryParity:
     def test_trace_summary_identical_from_sqlite_and_jsonl(self, tmp_path):

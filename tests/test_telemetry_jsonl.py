@@ -11,13 +11,17 @@ from repro.telemetry import (
     AllocFree,
     Discard,
     EVENT_TYPES,
+    FaultInjected,
     InvalidAccess,
     Manufacture,
     Redirect,
     RequestEnd,
+    RequestQuarantined,
     RequestStart,
+    RollbackPerformed,
     ScenarioEnd,
     ScenarioStart,
+    SnapshotTaken,
     TelemetrySession,
     event_name,
     from_record,
@@ -71,6 +75,18 @@ events = st.one_of(
     st.builds(ScenarioStart, scenario_id=counts, server=text, policy=text,
               workload=text, scale=finite_floats),
     st.builds(ScenarioEnd, scenario_id=counts, seconds=finite_floats),
+    st.builds(SnapshotTaken, index=counts, blocks=counts, delta_bytes=counts,
+              request_id=request_ids),
+    st.builds(RollbackPerformed, snapshot_index=counts, request_id=request_ids,
+              kind=text, is_attack=st.booleans(), blocks_restored=counts,
+              to_boot_image=st.booleans(),
+              backoff_virtual_seconds=finite_floats),
+    st.builds(RequestQuarantined, request_id=counts, kind=text,
+              is_attack=st.booleans(), attempts=run_counts),
+    st.builds(FaultInjected, kind=st.sampled_from(["abort", "alloc-fail",
+                                                   "corrupt"]),
+              request_id=request_ids, address=counts, length=counts,
+              point=st.sampled_from(["before", "after"])),
 )
 
 
@@ -93,7 +109,7 @@ class TestRoundTrip:
     def test_registry_names_are_bijective(self):
         # Every registered type must round-trip its tag, so no event type can
         # be exported without a parse path.
-        assert len(EVENT_TYPES) == 9
+        assert len(EVENT_TYPES) == 13
         for name, cls in EVENT_TYPES.items():
             assert event_name(cls.__new__(cls)) == name
 
